@@ -1,0 +1,51 @@
+package main
+
+import (
+	"fmt"
+
+	"vsnoop/internal/core"
+	"vsnoop/internal/system"
+	"vsnoop/internal/workload"
+)
+
+func main() {
+	for _, app := range []string{"lu", "fft", "specjbb"} {
+		cfg := system.DefaultConfig()
+		cfg.Workloads = []string{app}
+		cfg.RefsPerVCPU = 11000
+		cfg.WarmupRefs = 6000
+		cfg.NoHypervisor = true
+		cfg.ContentSharing = true
+		cfg.Filter.Policy = core.PolicyBase
+		m, err := system.New(cfg)
+		if err != nil {
+			panic(err)
+		}
+		prof := workload.MustGet(app)
+		l := workload.NewLayout(prof, 4)
+		_, contentHi := l.ContentRange()
+		hotHi := contentHi + 4*prof.HotPages
+		sharedHi := hotHi + prof.SharedPages
+		buckets := map[string]int{}
+		m.DebugMissHook = func(vmPage int, write bool) {
+			var region string
+			switch {
+			case vmPage < contentHi:
+				region = "content"
+			case vmPage < hotHi:
+				region = "hot"
+			case vmPage < sharedHi:
+				region = "shared"
+			default:
+				region = "cold"
+			}
+			if write {
+				region += "+W"
+			}
+			buckets[region]++
+		}
+		st := m.Run()
+		fmt.Printf("%-8s misses=%d missrate=%.3f buckets=%v\n", app, st.L2Misses,
+			float64(st.L2Misses)/float64(st.L1Accesses), buckets)
+	}
+}

@@ -1,0 +1,120 @@
+// Command vsnoop-sim runs a single simulation with the given knobs and
+// prints the full statistics record — the workhorse for interactive
+// exploration of the virtual-snooping design space.
+//
+// Usage:
+//
+//	vsnoop-sim -workload fft -policy counter -period 2.5 -refs 40000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vsnoop"
+)
+
+func main() {
+	workloadFlag := flag.String("workload", "fft", "application profile (comma-separated for per-VM mix); see -list")
+	policyFlag := flag.String("policy", "base", "snoop policy: tokenb, base, counter, counter-threshold, counter-flush")
+	contentFlag := flag.String("content", "broadcast", "content policy: broadcast, memory-direct, intra-vm, friend-vm")
+	refs := flag.Int("refs", 30000, "references per vCPU (measured phase)")
+	warmup := flag.Int("warmup", 6000, "warmup references per vCPU (excluded from stats)")
+	period := flag.Float64("period", 0, "vCPU migration period in ms (0 = pinned)")
+	cyclesPerMs := flag.Uint64("cycles-per-ms", 100000, "cycles per scheduler millisecond")
+	vms := flag.Int("vms", 4, "number of VMs")
+	vcpus := flag.Int("vcpus", 4, "vCPUs per VM")
+	sharing := flag.Bool("content-sharing", false, "enable content-based page sharing")
+	hypervisor := flag.Bool("hypervisor", false, "enable hypervisor/dom0 activity")
+	threshold := flag.Int("threshold", 10, "counter-threshold cutoff")
+	seed := flag.Uint64("seed", 1, "run seed")
+	list := flag.Bool("list", false, "list workloads and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range vsnoop.Workloads() {
+			fmt.Println(w)
+		}
+		return
+	}
+
+	cfg := vsnoop.DefaultConfig()
+	if names := strings.Split(*workloadFlag, ","); len(names) > 1 {
+		cfg.WorkloadPerVM = names
+		cfg.Workload = ""
+	} else {
+		cfg.Workload = *workloadFlag
+	}
+	switch *policyFlag {
+	case "tokenb", "broadcast":
+		cfg.Policy = vsnoop.PolicyBroadcast
+	case "base":
+		cfg.Policy = vsnoop.PolicyBase
+	case "counter":
+		cfg.Policy = vsnoop.PolicyCounter
+	case "counter-threshold":
+		cfg.Policy = vsnoop.PolicyCounterThreshold
+	case "counter-flush":
+		cfg.Policy = vsnoop.PolicyCounterFlush
+	default:
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policyFlag)
+		os.Exit(2)
+	}
+	switch *contentFlag {
+	case "broadcast":
+		cfg.Content = vsnoop.ContentBroadcast
+	case "memory-direct":
+		cfg.Content = vsnoop.ContentMemoryDirect
+	case "intra-vm":
+		cfg.Content = vsnoop.ContentIntraVM
+	case "friend-vm":
+		cfg.Content = vsnoop.ContentFriendVM
+	default:
+		fmt.Fprintf(os.Stderr, "unknown content policy %q\n", *contentFlag)
+		os.Exit(2)
+	}
+	cfg.VMs = *vms
+	cfg.VCPUsPerVM = *vcpus
+	cfg.RefsPerVCPU = *refs
+	cfg.WarmupRefs = *warmup
+	cfg.MigrationPeriodMs = *period
+	cfg.CyclesPerMs = *cyclesPerMs
+	cfg.ContentSharing = *sharing
+	cfg.Hypervisor = *hypervisor
+	cfg.Threshold = *threshold
+	cfg.Seed = *seed
+
+	res, err := vsnoop.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	st := res.Stats
+
+	fmt.Printf("workload=%s policy=%s content=%s period=%.2fms\n",
+		*workloadFlag, cfg.Policy, cfg.Content, *period)
+	fmt.Printf("%-28s %d\n", "exec cycles", res.ExecCycles)
+	fmt.Printf("%-28s %d\n", "L1 accesses", st.L1Accesses)
+	fmt.Printf("%-28s %d (%.2f%%)\n", "L2 misses", st.L2Misses,
+		100*float64(st.L2Misses)/float64(st.L1Accesses))
+	fmt.Printf("%-28s %d\n", "coherence transactions", st.Transactions)
+	fmt.Printf("%-28s %.2f\n", "snoops per transaction", res.SnoopsPerTransaction)
+	fmt.Printf("%-28s %d\n", "snoop tag lookups", st.SnoopLookups)
+	fmt.Printf("%-28s %d\n", "traffic (byte-hops)", res.TrafficByteHops)
+	fmt.Printf("%-28s %d / %d\n", "retries / persistent", st.Retries, st.Persistent)
+	fmt.Printf("%-28s %d / %d\n", "DRAM reads / writes", st.DRAMReads, st.DRAMWrites)
+	fmt.Printf("%-28s %d\n", "writebacks", st.Writebacks)
+	fmt.Printf("%-28s %d\n", "vCPU relocations", res.Relocations)
+	fmt.Printf("%-28s %d\n", "vCPU map syncs", st.MapSyncs)
+	fmt.Printf("%-28s %.1f cycles\n", "avg miss latency", st.MissLatency.Mean())
+	if *hypervisor {
+		fmt.Printf("%-28s %.2f%%\n", "hypervisor+dom0 miss share", res.HypervisorMissPct)
+	}
+	if *sharing {
+		fmt.Printf("%-28s %.2f%% / %.2f%%\n", "content access/miss share",
+			res.ContentAccessPct, res.ContentMissPct)
+		fmt.Printf("%-28s %d\n", "copy-on-writes", st.Cows)
+	}
+}

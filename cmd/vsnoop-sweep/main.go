@@ -1,0 +1,66 @@
+// Command vsnoop-sweep runs a parameter sweep over migration periods and
+// snoop policies for a set of workloads and emits CSV, for plotting or
+// regression tracking.
+//
+// Usage:
+//
+//	vsnoop-sweep -workloads fft,ocean -periods 5,2.5,0.5,0.1 > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"vsnoop"
+)
+
+func main() {
+	workloads := flag.String("workloads", "fft,ocean,radix", "comma-separated workloads")
+	periods := flag.String("periods", "0,5,2.5,0.5,0.1", "comma-separated migration periods (ms; 0 = pinned)")
+	refs := flag.Int("refs", 25000, "references per vCPU (measured)")
+	warmup := flag.Int("warmup", 3000, "warmup references per vCPU")
+	cyclesPerMs := flag.Uint64("cycles-per-ms", 12000, "cycles per scheduler millisecond")
+	flag.Parse()
+
+	var ps []float64
+	for _, s := range strings.Split(*periods, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad period %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		ps = append(ps, v)
+	}
+	pols := []vsnoop.Policy{
+		vsnoop.PolicyBroadcast, vsnoop.PolicyBase,
+		vsnoop.PolicyCounter, vsnoop.PolicyCounterThreshold,
+	}
+
+	fmt.Println("workload,period_ms,policy,snoops_per_txn,traffic_byte_hops,exec_cycles,relocations,retries,persistent")
+	for _, app := range strings.Split(*workloads, ",") {
+		app = strings.TrimSpace(app)
+		for _, period := range ps {
+			for _, pol := range pols {
+				cfg := vsnoop.DefaultConfig()
+				cfg.Workload = app
+				cfg.Policy = pol
+				cfg.RefsPerVCPU = *refs
+				cfg.WarmupRefs = *warmup
+				cfg.MigrationPeriodMs = period
+				cfg.CyclesPerMs = *cyclesPerMs
+				res, err := vsnoop.Run(cfg)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("%s,%g,%s,%.3f,%d,%d,%d,%d,%d\n",
+					app, period, pol, res.SnoopsPerTransaction,
+					res.TrafficByteHops, res.ExecCycles,
+					res.Relocations, res.Retries, res.Persistent)
+			}
+		}
+	}
+}

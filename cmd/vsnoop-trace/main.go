@@ -1,0 +1,211 @@
+// Command vsnoop-trace captures, inspects, and replays memory-reference
+// traces — the trace-driven workflow of the paper's Virtual-GEMS
+// methodology.
+//
+// Usage:
+//
+//	vsnoop-trace capture -workload fft -refs 50000 -out fft.trc
+//	vsnoop-trace info -in fft.trc
+//	vsnoop-trace replay -in fft.trc -policy counter -period 2.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"vsnoop/internal/core"
+	"vsnoop/internal/system"
+	"vsnoop/internal/trace"
+	"vsnoop/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "capture":
+		capture(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: vsnoop-trace capture|info|replay [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
+func capture(args []string) {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	app := fs.String("workload", "fft", "application profile")
+	refs := fs.Int("refs", 50000, "references per vCPU")
+	vcpus := fs.Int("vcpus", 16, "vCPU sections (VMs x vCPUs, VM-major)")
+	perVM := fs.Int("vcpus-per-vm", 4, "vCPUs per VM (thread index wraps)")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("out", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		fatal(fmt.Errorf("capture: -out is required"))
+	}
+	prof, ok := workload.Get(*app)
+	if !ok {
+		fatal(fmt.Errorf("unknown workload %q", *app))
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w := trace.NewWriter(f)
+	if err := w.Begin(*vcpus); err != nil {
+		fatal(err)
+	}
+	for i := 0; i < *vcpus; i++ {
+		vm, thread := i / *perVM, i%*perVM
+		g := workload.NewGenerator(prof, *perVM, thread, *seed+uint64(vm)*1000)
+		if err := trace.Capture(w, g, *refs); err != nil {
+			fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	st, _ := f.Stat()
+	fmt.Printf("wrote %s: %d sections x %d refs, %d bytes\n", *out, *vcpus, *refs, st.Size())
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "trace file (required)")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("info: -in is required"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d vCPU sections\n", *in, r.VCPUs())
+	for s := 0; s < r.VCPUs(); s++ {
+		n, err := r.NextSection()
+		if err != nil {
+			fatal(err)
+		}
+		var reads, writes, xen, dom0 int
+		for i := 0; i < n; i++ {
+			ref, err := r.Read()
+			if err != nil {
+				fatal(err)
+			}
+			switch {
+			case ref.Ctx == workload.CtxXen:
+				xen++
+			case ref.Ctx == workload.CtxDom0:
+				dom0++
+			case ref.Write:
+				writes++
+			default:
+				reads++
+			}
+		}
+		fmt.Printf("  section %2d: %8d refs (%d reads, %d writes, %d xen, %d dom0)\n",
+			s, n, reads, writes, xen, dom0)
+	}
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("in", "", "trace file (required)")
+	app := fs.String("workload", "fft", "profile used for the address-space layout")
+	policyFlag := fs.String("policy", "base", "tokenb, base, counter, counter-threshold, counter-flush")
+	refs := fs.Int("refs", 0, "references per vCPU (0 = section length)")
+	warmup := fs.Int("warmup", 0, "warmup references excluded from stats")
+	period := fs.Float64("period", 0, "migration period ms (0 = pinned)")
+	fs.Parse(args)
+	if *in == "" {
+		fatal(fmt.Errorf("replay: -in is required"))
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := system.DefaultConfig()
+	cfg.Workloads = []string{*app}
+	cfg.NoHypervisor = false
+	cfg.MigrationPeriodMs = *period
+	cfg.WarmupRefs = *warmup
+	switch *policyFlag {
+	case "tokenb":
+		cfg.Filter.Policy = core.PolicyBroadcast
+	case "base":
+		cfg.Filter.Policy = core.PolicyBase
+	case "counter":
+		cfg.Filter.Policy = core.PolicyCounter
+	case "counter-threshold":
+		cfg.Filter.Policy = core.PolicyCounterThreshold
+	case "counter-flush":
+		cfg.Filter.Policy = core.PolicyCounterFlush
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policyFlag))
+	}
+
+	var sources []system.RefSource
+	sectionLen := 0
+	for s := 0; s < r.VCPUs(); s++ {
+		rp, err := trace.NewReplayer(r)
+		if err != nil {
+			if err == io.EOF {
+				break
+			}
+			fatal(err)
+		}
+		sectionLen = rp.Len()
+		sources = append(sources, rp)
+	}
+	if len(sources) != cfg.VMs*cfg.VCPUsPerVM {
+		fatal(fmt.Errorf("trace has %d sections, machine needs %d", len(sources), cfg.VMs*cfg.VCPUsPerVM))
+	}
+	if *refs > 0 {
+		cfg.RefsPerVCPU = *refs
+	} else {
+		cfg.RefsPerVCPU = sectionLen
+	}
+
+	m, err := system.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if err := m.ReplaceSources(sources); err != nil {
+		fatal(err)
+	}
+	st := m.Run()
+	fmt.Printf("replayed %d refs/vCPU under policy=%v\n", cfg.RefsPerVCPU, cfg.Filter.Policy)
+	fmt.Printf("%-26s %d\n", "exec cycles", st.ExecCycles)
+	fmt.Printf("%-26s %.2f\n", "snoops per transaction", st.SnoopsPerTransaction())
+	fmt.Printf("%-26s %d\n", "traffic (byte-hops)", st.ByteHops)
+	fmt.Printf("%-26s %d\n", "L2 misses", st.L2Misses)
+	fmt.Printf("%-26s %d\n", "relocations", st.Relocations)
+}

@@ -1,0 +1,59 @@
+// Consolidation: a heterogeneous server-consolidation scenario — four
+// different VMs (a web tier, a database, a JVM, and an analytics batch
+// job) share one 16-core processor with content-based page sharing
+// enabled. The example compares the four content-sharing snoop policies of
+// Section VI.B and shows where the data for content-shared misses came
+// from (the Table VI decomposition).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vsnoop"
+)
+
+func main() {
+	mix := []string{"specweb", "oltp", "specjbb", "canneal"}
+
+	fmt.Println("server consolidation — 4 heterogeneous VMs, content sharing on")
+	fmt.Printf("VM mix: %v\n\n", mix)
+
+	policies := []vsnoop.ContentPolicy{
+		vsnoop.ContentBroadcast, vsnoop.ContentMemoryDirect,
+		vsnoop.ContentIntraVM, vsnoop.ContentFriendVM,
+	}
+
+	var baseline float64
+	fmt.Printf("%-18s %12s %14s %12s\n", "content policy", "snoops/txn", "traffic(B*hop)", "retries")
+	for i, cp := range policies {
+		cfg := vsnoop.DefaultConfig()
+		cfg.WorkloadPerVM = mix
+		cfg.Workload = ""
+		cfg.ContentSharing = true
+		cfg.Policy = vsnoop.PolicyBase
+		cfg.Content = cp
+		res, err := vsnoop.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-18s %12.2f %14d %12d\n",
+			cp, res.SnoopsPerTransaction, res.TrafficByteHops, res.Retries)
+		if i == 0 {
+			baseline = res.SnoopsPerTransaction
+			st := res.Stats
+			total := st.HolderMemory + st.HolderIntraVM + st.HolderFriend + st.HolderOther
+			if total > 0 {
+				fmt.Printf("\n  content-miss data holders (Table VI style):\n")
+				fmt.Printf("    intra-VM cache  %5.1f%%\n", 100*float64(st.HolderIntraVM)/float64(total))
+				fmt.Printf("    friend-VM cache %5.1f%%\n", 100*float64(st.HolderFriend)/float64(total))
+				fmt.Printf("    other VM cache  %5.1f%%\n", 100*float64(st.HolderOther)/float64(total))
+				fmt.Printf("    memory only     %5.1f%%\n\n", 100*float64(st.HolderMemory)/float64(total))
+			}
+		}
+	}
+	_ = baseline
+	fmt.Println("\nNote: in a heterogeneous mix, VMs share far fewer identical pages")
+	fmt.Println("than homogeneous ones, so the content policies matter less — exactly")
+	fmt.Println("the paper's observation that content sharing is workload-dependent.")
+}

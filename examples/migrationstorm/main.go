@@ -1,0 +1,57 @@
+// Migrationstorm: stress virtual snooping with increasingly aggressive
+// vCPU relocation (the Section V.C experiment, Figures 7/8). For each
+// migration period the example compares the three virtual-snooping
+// policies against the TokenB broadcast baseline, showing how the base
+// policy collapses while the counter policy keeps filtering.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vsnoop"
+)
+
+func main() {
+	const app = "ocean"
+	periods := []float64{5, 2.5, 0.5, 0.1}
+	policies := []vsnoop.Policy{
+		vsnoop.PolicyBase, vsnoop.PolicyCounter, vsnoop.PolicyCounterThreshold,
+	}
+
+	fmt.Printf("migration storm — %s on 16 cores, 4 VMs, shuffling vCPUs\n\n", app)
+	fmt.Printf("%8s | %12s %12s %18s   (normalized snoops, tokenB = 100%%)\n",
+		"period", "vsnoop-base", "counter", "counter-threshold")
+
+	run := func(pol vsnoop.Policy, period float64) *vsnoop.Result {
+		cfg := vsnoop.DefaultConfig()
+		cfg.Workload = app
+		cfg.Policy = pol
+		cfg.MigrationPeriodMs = period
+		cfg.CyclesPerMs = 12_000
+		cfg.RefsPerVCPU = 30000
+		cfg.WarmupRefs = 3000
+		res, err := vsnoop.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	for _, period := range periods {
+		base := run(vsnoop.PolicyBroadcast, period)
+		fmt.Printf("%6.1fms |", period)
+		for _, pol := range policies {
+			res := run(pol, period)
+			norm := 100 * float64(res.Stats.SnoopsIssued) / float64(base.Stats.SnoopsIssued)
+			width := 12
+			if pol == vsnoop.PolicyCounterThreshold {
+				width = 18
+			}
+			fmt.Printf(" %*.1f%%", width-1, norm)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nideal multicast = 25%. Paper shape: counter stays near the ideal at")
+	fmt.Println("5/2.5ms and still filters ~45% at 0.1ms; base degrades toward 100%.")
+}

@@ -1,0 +1,3 @@
+module vsnoop
+
+go 1.22

@@ -1,0 +1,60 @@
+package cache
+
+import (
+	"testing"
+
+	"vsnoop/internal/mem"
+)
+
+func benchCache() *Cache {
+	return New(Config{Name: "L2", SizeBytes: 256 * 1024, Ways: 8, BlockBytes: 64, HitLatency: 10})
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := benchCache()
+	for i := 0; i < 1024; i++ {
+		c.Insert(mem.BlockAddr(i), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Lookup(mem.BlockAddr(i&1023)) == nil {
+			b.Fatal("unexpected miss")
+		}
+	}
+}
+
+func BenchmarkLookupMiss(b *testing.B) {
+	c := benchCache()
+	for i := 0; i < 1024; i++ {
+		c.Insert(mem.BlockAddr(i), 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.Lookup(mem.BlockAddr(1_000_000+i)) != nil {
+			b.Fatal("unexpected hit")
+		}
+	}
+}
+
+func BenchmarkInsertEvict(b *testing.B) {
+	c := benchCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := mem.BlockAddr(i)
+		if c.Lookup(a) == nil {
+			c.Insert(a, mem.VMID(i&3))
+		}
+	}
+}
+
+func BenchmarkFlushVM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		c := benchCache()
+		for j := 0; j < 4096; j++ {
+			c.Insert(mem.BlockAddr(j), mem.VMID(j&3))
+		}
+		b.StartTimer()
+		c.FlushVM(1)
+	}
+}

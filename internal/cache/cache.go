@@ -1,0 +1,316 @@
+// Package cache implements the set-associative cache model used for the
+// private L1 and L2 caches: LRU replacement, per-block token-coherence
+// state (token count, owner token, dirty bit), and the two hardware
+// extensions virtual snooping adds (paper Section IV.B):
+//
+//   - a VM identifier in every cache tag, and
+//   - per-VM cache residence counters that count how many valid blocks each
+//     VM has in the cache. When a VM's counter reaches zero, the core can
+//     safely be removed from that VM's vCPU map.
+package cache
+
+import (
+	"fmt"
+
+	"vsnoop/internal/mem"
+)
+
+// Config describes one cache.
+type Config struct {
+	Name       string
+	SizeBytes  int
+	Ways       int
+	BlockBytes int
+	HitLatency uint64 // cycles
+}
+
+// Validate checks the geometry is a power-of-two set count.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 || c.BlockBytes <= 0 {
+		return fmt.Errorf("cache %q: non-positive geometry", c.Name)
+	}
+	sets := c.SizeBytes / (c.Ways * c.BlockBytes)
+	if sets == 0 {
+		return fmt.Errorf("cache %q: zero sets", c.Name)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache %q: set count %d not a power of two", c.Name, sets)
+	}
+	return nil
+}
+
+// Block is one cache line. Token-coherence state (Section V: Token
+// Coherence, MOESI) is carried as a token count plus owner and dirty
+// flags; the classic MOESI letter is derived on demand.
+type Block struct {
+	Addr   mem.BlockAddr
+	Valid  bool
+	Tokens int
+	Owner  bool // holds the owner token (data-provider responsibility)
+	Dirty  bool
+	VM     mem.VMID // VM identifier in the tag (virtual snooping extension)
+	// Provider marks this copy as its VM's designated data provider for an
+	// RO-shared (content-shared) block, so intra-VM and friend-VM requests
+	// get exactly one cache response (paper Section VI.B).
+	Provider bool
+	lru      uint64
+}
+
+// State is the derived MOESI state of a block.
+type State uint8
+
+const (
+	Invalid State = iota
+	Shared
+	Owned
+	Exclusive
+	Modified
+)
+
+func (s State) String() string {
+	return [...]string{"I", "S", "O", "E", "M"}[s]
+}
+
+// StateOf derives the MOESI letter from token state given the total number
+// of tokens per block in the system.
+func StateOf(b *Block, totalTokens int) State {
+	switch {
+	case !b.Valid || b.Tokens == 0:
+		return Invalid
+	case b.Tokens == totalTokens && b.Dirty:
+		return Modified
+	case b.Tokens == totalTokens:
+		return Exclusive
+	case b.Owner:
+		return Owned
+	default:
+		return Shared
+	}
+}
+
+// EvictInfo describes a block displaced from the cache; the coherence
+// controller must return its tokens (and dirty data) to memory.
+type EvictInfo struct {
+	Addr   mem.BlockAddr
+	Tokens int
+	Owner  bool
+	Dirty  bool
+	VM     mem.VMID
+}
+
+// Cache is one set-associative cache. It is not safe for concurrent use;
+// the simulation engine is single-threaded by design.
+type Cache struct {
+	cfg     Config
+	sets    [][]Block
+	setMask uint64
+	tick    uint64
+
+	resident map[mem.VMID]int
+
+	// OnResidenceZero, if set, fires when a VM's residence counter drops
+	// to zero (the trigger for vCPU-map removal in the counter policy).
+	OnResidenceZero func(vm mem.VMID)
+	// OnResidenceBelow, if set, fires when a VM's counter drops strictly
+	// below Threshold (the counter-threshold policy trigger).
+	OnResidenceBelow func(vm mem.VMID, count int)
+	Threshold        int
+
+	// OnDrop, if set, fires whenever a valid block leaves the cache
+	// (eviction or invalidation). The system layer uses it to keep the L1
+	// a strict subset of the L2 (inclusion).
+	OnDrop func(a mem.BlockAddr)
+
+	// OnInsert, if set, fires when a block becomes valid (region-presence
+	// tracking for region-based snoop filters).
+	OnInsert func(a mem.BlockAddr, vm mem.VMID)
+}
+
+// New builds a cache from cfg; it panics on invalid geometry (a
+// configuration error, not a runtime condition).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nSets := cfg.SizeBytes / (cfg.Ways * cfg.BlockBytes)
+	sets := make([][]Block, nSets)
+	backing := make([]Block, nSets*cfg.Ways)
+	for i := range sets {
+		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return &Cache{
+		cfg:      cfg,
+		sets:     sets,
+		setMask:  uint64(nSets - 1),
+		resident: make(map[mem.VMID]int),
+	}
+}
+
+// Config returns the cache configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// NumSets returns the number of sets.
+func (c *Cache) NumSets() int { return len(c.sets) }
+
+func (c *Cache) setIndex(a mem.BlockAddr) uint64 { return uint64(a) & c.setMask }
+
+// Lookup returns the block holding addr with nonzero validity, or nil.
+// It does not update LRU state; callers decide whether an access counts
+// as a use (snoop probes do not).
+func (c *Cache) Lookup(a mem.BlockAddr) *Block {
+	set := c.sets[c.setIndex(a)]
+	for i := range set {
+		if set[i].Valid && set[i].Addr == a {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Touch marks b most-recently used.
+func (c *Cache) Touch(b *Block) {
+	c.tick++
+	b.lru = c.tick
+}
+
+// Resident returns the residence counter for vm: the number of valid
+// blocks tagged with that VM.
+func (c *Cache) Resident(vm mem.VMID) int { return c.resident[vm] }
+
+// ResidentVMs returns every VM with a nonzero residence counter.
+func (c *Cache) ResidentVMs() []mem.VMID {
+	out := make([]mem.VMID, 0, len(c.resident))
+	for vm, n := range c.resident {
+		if n > 0 {
+			out = append(out, vm)
+		}
+	}
+	return out
+}
+
+func (c *Cache) incResident(vm mem.VMID) { c.resident[vm]++ }
+
+func (c *Cache) decResident(vm mem.VMID) {
+	c.resident[vm]--
+	n := c.resident[vm]
+	if n < 0 {
+		panic(fmt.Sprintf("cache %s: residence counter for VM %d underflowed", c.cfg.Name, vm))
+	}
+	if n == 0 && c.OnResidenceZero != nil {
+		c.OnResidenceZero(vm)
+	}
+	if c.OnResidenceBelow != nil && n < c.Threshold {
+		c.OnResidenceBelow(vm, n)
+	}
+}
+
+// Insert places addr into the cache tagged with vm, evicting the LRU
+// victim of the set if no way is free. The new block starts with zero
+// tokens; the coherence controller fills token state as responses arrive.
+// evicted reports whether victim describes a displaced valid block.
+func (c *Cache) Insert(a mem.BlockAddr, vm mem.VMID) (b *Block, victim EvictInfo, evicted bool) {
+	set := c.sets[c.setIndex(a)]
+	var slot *Block
+	for i := range set {
+		if set[i].Valid && set[i].Addr == a {
+			panic(fmt.Sprintf("cache %s: double insert of block %d", c.cfg.Name, a))
+		}
+		if !set[i].Valid && slot == nil {
+			slot = &set[i]
+		}
+	}
+	if slot == nil {
+		slot = &set[0]
+		for i := 1; i < len(set); i++ {
+			if set[i].lru < slot.lru {
+				slot = &set[i]
+			}
+		}
+		victim = EvictInfo{Addr: slot.Addr, Tokens: slot.Tokens, Owner: slot.Owner, Dirty: slot.Dirty, VM: slot.VM}
+		evicted = true
+		// Clear the slot before firing callbacks so reentrant operations
+		// (e.g. a residence-triggered FlushVM) never see the victim as
+		// still valid.
+		*slot = Block{}
+		c.decResident(victim.VM)
+		if c.OnDrop != nil {
+			c.OnDrop(victim.Addr)
+		}
+	}
+	c.tick++
+	*slot = Block{Addr: a, Valid: true, VM: vm, lru: c.tick}
+	c.incResident(vm)
+	if c.OnInsert != nil {
+		c.OnInsert(a, vm)
+	}
+	return slot, victim, evicted
+}
+
+// Invalidate removes b from the cache (e.g. all tokens taken by a GETX)
+// and returns its final token state for the controller to forward.
+func (c *Cache) Invalidate(b *Block) EvictInfo {
+	if !b.Valid {
+		panic(fmt.Sprintf("cache %s: invalidate of invalid block", c.cfg.Name))
+	}
+	info := EvictInfo{Addr: b.Addr, Tokens: b.Tokens, Owner: b.Owner, Dirty: b.Dirty, VM: b.VM}
+	// Clear before callbacks: a reentrant FlushVM from a residence trigger
+	// must not double-invalidate this block.
+	*b = Block{}
+	c.decResident(info.VM)
+	if c.OnDrop != nil {
+		c.OnDrop(info.Addr)
+	}
+	return info
+}
+
+// FlushPage invalidates every block of host page p and returns their final
+// states (used when the hypervisor marks a page RO-shared: dirty lines
+// must reach memory so it holds a clean copy).
+func (c *Cache) FlushPage(p mem.HostPage) []EvictInfo {
+	var out []EvictInfo
+	lo := mem.BlockInPage(p, 0)
+	hi := mem.BlockInPage(p, mem.BlocksPerPage-1)
+	for s := range c.sets {
+		set := c.sets[s]
+		for i := range set {
+			if set[i].Valid && set[i].Addr >= lo && set[i].Addr <= hi {
+				out = append(out, c.Invalidate(&set[i]))
+			}
+		}
+	}
+	return out
+}
+
+// FlushVM invalidates every block tagged with vm (the "selective flush"
+// alternative discussed in Section IV.B) and returns their states.
+func (c *Cache) FlushVM(vm mem.VMID) []EvictInfo {
+	var out []EvictInfo
+	for s := range c.sets {
+		set := c.sets[s]
+		for i := range set {
+			if set[i].Valid && set[i].VM == vm {
+				out = append(out, c.Invalidate(&set[i]))
+			}
+		}
+	}
+	return out
+}
+
+// ForEachValid calls fn for every valid block.
+func (c *Cache) ForEachValid(fn func(*Block)) {
+	for s := range c.sets {
+		set := c.sets[s]
+		for i := range set {
+			if set[i].Valid {
+				fn(&set[i])
+			}
+		}
+	}
+}
+
+// CountValid returns the number of valid blocks (for tests/invariants).
+func (c *Cache) CountValid() int {
+	n := 0
+	c.ForEachValid(func(*Block) { n++ })
+	return n
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"testing"
+
+	"vsnoop/internal/cache"
+	"vsnoop/internal/mem"
+	"vsnoop/internal/mesh"
+	"vsnoop/internal/sim"
+	"vsnoop/internal/token"
+)
+
+func benchFilter(policy Policy) *Filter {
+	eng := sim.NewEngine()
+	nodes := make([]mesh.NodeID, 16)
+	caches := make([]*cache.Cache, 16)
+	for i := range nodes {
+		nodes[i] = mesh.NodeID(i)
+		caches[i] = cache.New(cache.Config{Name: "L2", SizeBytes: 8192, Ways: 8, BlockBytes: 64})
+	}
+	f := NewFilter(eng, Config{Policy: policy}, nodes, caches)
+	for vm := mem.VMID(0); vm < 4; vm++ {
+		for i := 0; i < 4; i++ {
+			f.HandleRelocate(vm, -1, int(vm)*4+i)
+		}
+	}
+	return f
+}
+
+func BenchmarkRoutePrivate(b *testing.B) {
+	f := benchFilter(PolicyBase)
+	info := token.RouteInfo{VM: 1, Page: mem.PagePrivate, Requester: 4, CoreNode: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(f.Route(info)) != 3 {
+			b.Fatal("unexpected destination count")
+		}
+	}
+}
+
+func BenchmarkRouteBroadcast(b *testing.B) {
+	f := benchFilter(PolicyBroadcast)
+	info := token.RouteInfo{VM: 1, Page: mem.PagePrivate, Requester: 4, CoreNode: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(f.Route(info)) != 15 {
+			b.Fatal("unexpected destination count")
+		}
+	}
+}
+
+func BenchmarkRelocationChurn(b *testing.B) {
+	f := benchFilter(PolicyCounter)
+	for i := 0; i < b.N; i++ {
+		vm := mem.VMID(i & 3)
+		from := int(vm)*4 + (i & 3)
+		// Move a vCPU back and forth between its home core and a far one.
+		f.HandleRelocate(vm, from, from)
+	}
+}

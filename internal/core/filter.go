@@ -1,0 +1,371 @@
+// Package core implements virtual snooping, the paper's contribution: a
+// snoop filter that confines coherence requests to a VM's *virtual snoop
+// domain*.
+//
+// Each core has a vCPU map register listing the physical cores the VM
+// currently running on it must snoop (Section IV.A). The hypervisor keeps
+// the registers of a VM's cores synchronized, so this package maintains
+// one canonical map per VM. Requests to VM-private pages are multicast to
+// the map; RW-shared pages (hypervisor data, inter-VM channels) are
+// broadcast; RO-shared (content-shared) pages follow a configurable
+// optimization (Section VI.B).
+//
+// Three relocation policies are provided (Section IV.B):
+//
+//   - Base: cores are added to a map when a vCPU lands on them and are
+//     never removed, so long-lived VMs eventually snoop everything.
+//   - Counter: per-VM cache residence counters remove a core as soon as
+//     the VM's last block leaves its cache.
+//   - CounterThreshold: cores are removed speculatively once the counter
+//     falls below a threshold; correctness comes from Token Coherence's
+//     safe retries (the protocol broadcasts after two failed attempts).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"vsnoop/internal/cache"
+	"vsnoop/internal/mem"
+	"vsnoop/internal/mesh"
+	"vsnoop/internal/sim"
+	"vsnoop/internal/stats"
+	"vsnoop/internal/token"
+)
+
+// Policy selects the destination-set policy for VM-private pages.
+type Policy int
+
+const (
+	// PolicyBroadcast is the TokenB baseline: snoop every core.
+	PolicyBroadcast Policy = iota
+	// PolicyBase is virtual snooping without map cleanup (vsnoop-base).
+	PolicyBase
+	// PolicyCounter removes cores whose residence counter reaches zero.
+	PolicyCounter
+	// PolicyCounterThreshold removes cores speculatively below Threshold.
+	PolicyCounterThreshold
+	// PolicyCounterFlush removes cores by *flushing* the VM's remaining
+	// blocks once the counter falls below Threshold — the selective-flush
+	// alternative Section IV.B sketches ("a straightforward solution ...
+	// is to flush the cache selectively for a specific VM, if the counter
+	// is decreased under a threshold"). Unlike counter-threshold it needs
+	// no protocol retry support, at the cost of extra writeback traffic.
+	PolicyCounterFlush
+)
+
+func (p Policy) String() string {
+	return [...]string{"tokenB", "vsnoop-base", "counter", "counter-threshold", "counter-flush"}[p]
+}
+
+// ContentPolicy selects how RO-shared (content-shared) page requests are
+// routed (Section VI.B).
+type ContentPolicy int
+
+const (
+	// ContentBroadcast snoops every core (the unoptimized default).
+	ContentBroadcast ContentPolicy = iota
+	// ContentMemoryDirect sends the request to memory only.
+	ContentMemoryDirect
+	// ContentIntraVM snoops only the requesting VM's map (plus memory).
+	ContentIntraVM
+	// ContentFriendVM snoops the requesting VM's map and its friend VM's
+	// map (plus memory).
+	ContentFriendVM
+)
+
+func (p ContentPolicy) String() string {
+	return [...]string{"vsnoop-broadcast", "memory-direct", "intra-VM", "friend-VM"}[p]
+}
+
+// Config configures a Filter.
+type Config struct {
+	Policy    Policy
+	Content   ContentPolicy
+	Threshold int // counter-threshold cutoff (the paper uses 10)
+}
+
+// Filter is the virtual-snooping destination-set engine. It implements
+// token.Router.
+type Filter struct {
+	cfg       Config
+	eng       *sim.Engine
+	coreNodes []mesh.NodeID // core index -> network endpoint
+
+	// canonical per-VM vCPU maps (core index sets)
+	maps map[mem.VMID]map[int]bool
+	// running[vm][core]: cores where a vCPU of vm is currently placed
+	running map[mem.VMID]map[int]bool
+	// caches[i] is core i's L2, consulted for residence counters
+	caches []*cache.Cache
+
+	friends map[mem.VMID]mem.VMID
+
+	// pendingRemoval[vm][core] records when the VM's last vCPU left the
+	// core while data remained, for the Figure 9 removal-period CDF.
+	pendingRemoval map[mem.VMID]map[int]sim.Cycle
+
+	// RemovalPeriods collects cycles from vCPU departure until the core
+	// left the vCPU map (Figure 9).
+	RemovalPeriods stats.CDF
+
+	// MapSyncs counts vCPU-map register synchronizations (adds/removes).
+	MapSyncs uint64
+
+	// OnFlushVM, wired by the system layer, flushes a VM's blocks from a
+	// core's cache (writing tokens back to memory). Required by
+	// PolicyCounterFlush.
+	OnFlushVM func(core int, vm mem.VMID)
+
+	// Flushes counts selective-flush events.
+	Flushes uint64
+}
+
+// NewFilter builds a filter over the given cores. caches may be nil when
+// the counter policies are unused (e.g. the broadcast baseline).
+func NewFilter(eng *sim.Engine, cfg Config, coreNodes []mesh.NodeID, caches []*cache.Cache) *Filter {
+	if cfg.Policy == PolicyCounterThreshold && cfg.Threshold <= 0 {
+		cfg.Threshold = 10
+	}
+	f := &Filter{
+		cfg:            cfg,
+		eng:            eng,
+		coreNodes:      coreNodes,
+		maps:           make(map[mem.VMID]map[int]bool),
+		running:        make(map[mem.VMID]map[int]bool),
+		caches:         caches,
+		friends:        make(map[mem.VMID]mem.VMID),
+		pendingRemoval: make(map[mem.VMID]map[int]sim.Cycle),
+	}
+	// Wire residence-counter callbacks.
+	switch cfg.Policy {
+	case PolicyCounter:
+		for i, c := range caches {
+			if c == nil {
+				continue
+			}
+			i := i
+			c.OnResidenceZero = func(vm mem.VMID) { f.tryRemove(vm, i, 0) }
+		}
+	case PolicyCounterThreshold:
+		for i, c := range caches {
+			if c == nil {
+				continue
+			}
+			i := i
+			c.Threshold = cfg.Threshold
+			c.OnResidenceBelow = func(vm mem.VMID, n int) { f.tryRemove(vm, i, n) }
+		}
+	case PolicyCounterFlush:
+		if cfg.Threshold <= 0 {
+			cfg.Threshold = 10
+			f.cfg.Threshold = 10
+		}
+		for i, c := range caches {
+			if c == nil {
+				continue
+			}
+			i := i
+			c.Threshold = cfg.Threshold
+			c.OnResidenceBelow = func(vm mem.VMID, n int) { f.tryFlush(vm, i, n) }
+		}
+	}
+	return f
+}
+
+// Config returns the filter configuration.
+func (f *Filter) Config() Config { return f.cfg }
+
+// SetFriend records vm's friend VM for the friend-VM content policy.
+func (f *Filter) SetFriend(vm, friend mem.VMID) { f.friends[vm] = friend }
+
+func (f *Filter) mapOf(vm mem.VMID) map[int]bool {
+	m, ok := f.maps[vm]
+	if !ok {
+		m = make(map[int]bool)
+		f.maps[vm] = m
+	}
+	return m
+}
+
+func (f *Filter) runningOf(vm mem.VMID) map[int]bool {
+	m, ok := f.running[vm]
+	if !ok {
+		m = make(map[int]bool)
+		f.running[vm] = m
+	}
+	return m
+}
+
+// HandleRelocate is the hypervisor hook: vCPU v of a VM moved from core
+// `from` (-1 on first placement) to core `to`. The hypervisor adds the new
+// core to the VM's map before the VM runs there; the old core stays until
+// a counter policy removes it.
+func (f *Filter) HandleRelocate(vm mem.VMID, from, to int) {
+	run := f.runningOf(vm)
+	if from >= 0 {
+		delete(run, from)
+	}
+	run[to] = true
+
+	m := f.mapOf(vm)
+	if !m[to] {
+		m[to] = true
+		f.MapSyncs++
+	}
+
+	if from < 0 || run[from] {
+		return
+	}
+	// The VM no longer runs on `from`. Under the counter policies, check
+	// whether its data is already gone; otherwise record the departure so
+	// the eventual removal latency feeds Figure 9.
+	switch f.cfg.Policy {
+	case PolicyCounter, PolicyCounterThreshold, PolicyCounterFlush:
+		n := 0
+		if f.caches != nil && f.caches[from] != nil {
+			n = f.caches[from].Resident(vm)
+		}
+		limit := 1 // counter: remove at zero
+		if f.cfg.Policy == PolicyCounterThreshold || f.cfg.Policy == PolicyCounterFlush {
+			limit = f.cfg.Threshold
+		}
+		if n < limit {
+			f.remove(vm, from)
+			if f.cfg.Policy == PolicyCounterFlush && n > 0 && f.OnFlushVM != nil {
+				f.Flushes++
+				f.OnFlushVM(from, vm)
+			}
+			return
+		}
+		pr, ok := f.pendingRemoval[vm]
+		if !ok {
+			pr = make(map[int]sim.Cycle)
+			f.pendingRemoval[vm] = pr
+		}
+		pr[from] = f.eng.Now()
+	}
+}
+
+// tryRemove handles a residence-counter trigger at core for vm.
+func (f *Filter) tryRemove(vm mem.VMID, core int, count int) {
+	if f.runningOf(vm)[core] {
+		return // still running there: the core must stay in the map
+	}
+	if !f.mapOf(vm)[core] {
+		return
+	}
+	f.remove(vm, core)
+}
+
+// tryFlush handles a below-threshold trigger under PolicyCounterFlush:
+// flush the VM's remaining blocks from the departed core, then remove it.
+func (f *Filter) tryFlush(vm mem.VMID, core int, n int) {
+	if f.runningOf(vm)[core] || !f.mapOf(vm)[core] {
+		return
+	}
+	// Remove first: the flush below re-triggers residence callbacks for
+	// every invalidated block, and they must find the core already gone.
+	f.remove(vm, core)
+	if n > 0 && f.OnFlushVM != nil {
+		f.Flushes++
+		f.OnFlushVM(core, vm)
+	}
+}
+
+func (f *Filter) remove(vm mem.VMID, core int) {
+	m := f.mapOf(vm)
+	if !m[core] {
+		return
+	}
+	delete(m, core)
+	f.MapSyncs++
+	if pr := f.pendingRemoval[vm]; pr != nil {
+		if t0, ok := pr[core]; ok {
+			f.RemovalPeriods.Observe(float64(f.eng.Now() - t0))
+			delete(pr, core)
+		}
+	}
+}
+
+// MapCores returns the sorted cores in vm's vCPU map (for tests/stats).
+func (f *Filter) MapCores(vm mem.VMID) []int {
+	m := f.maps[vm]
+	out := make([]int, 0, len(m))
+	for c := range m {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// MapSize returns the size of vm's vCPU map.
+func (f *Filter) MapSize(vm mem.VMID) int { return len(f.maps[vm]) }
+
+// Contains reports whether core is in vm's map.
+func (f *Filter) Contains(vm mem.VMID, core int) bool { return f.maps[vm][core] }
+
+// Route implements token.Router: the destination set for one transaction
+// attempt, excluding the requester (which looks up its own cache anyway)
+// and excluding memory (the home controller is always addressed).
+func (f *Filter) Route(info token.RouteInfo) []mesh.NodeID {
+	if f.cfg.Policy == PolicyBroadcast {
+		return f.allExcept(info.Requester)
+	}
+	switch info.Page {
+	case mem.PagePrivate:
+		return f.mapExcept(info.VM, info.Requester)
+	case mem.PageRWShared:
+		return f.allExcept(info.Requester)
+	case mem.PageROShared:
+		switch f.cfg.Content {
+		case ContentBroadcast:
+			return f.allExcept(info.Requester)
+		case ContentMemoryDirect:
+			return nil
+		case ContentIntraVM:
+			return f.mapExcept(info.VM, info.Requester)
+		case ContentFriendVM:
+			out := f.mapExcept(info.VM, info.Requester)
+			if friend, ok := f.friends[info.VM]; ok {
+				seen := make(map[mesh.NodeID]bool, len(out))
+				for _, n := range out {
+					seen[n] = true
+				}
+				for _, n := range f.mapExcept(friend, info.Requester) {
+					if !seen[n] {
+						out = append(out, n)
+					}
+				}
+			}
+			return out
+		}
+	}
+	panic(fmt.Sprintf("core: unroutable request page=%v", info.Page))
+}
+
+func (f *Filter) allExcept(requester int) []mesh.NodeID {
+	out := make([]mesh.NodeID, 0, len(f.coreNodes)-1)
+	for i, n := range f.coreNodes {
+		if i != requester {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (f *Filter) mapExcept(vm mem.VMID, requester int) []mesh.NodeID {
+	m := f.maps[vm]
+	cores := make([]int, 0, len(m))
+	for c := range m {
+		if c != requester {
+			cores = append(cores, c)
+		}
+	}
+	sort.Ints(cores) // deterministic send order
+	out := make([]mesh.NodeID, len(cores))
+	for i, c := range cores {
+		out[i] = f.coreNodes[c]
+	}
+	return out
+}

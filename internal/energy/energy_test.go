@@ -1,0 +1,57 @@
+package energy
+
+import (
+	"testing"
+
+	"vsnoop/internal/core"
+	"vsnoop/internal/system"
+)
+
+func run(t *testing.T, policy core.Policy) *system.Stats {
+	t.Helper()
+	cfg := system.DefaultConfig()
+	cfg.RefsPerVCPU = 3000
+	cfg.WarmupRefs = 500
+	cfg.NoHypervisor = true
+	cfg.Filter.Policy = policy
+	m, err := system.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Run()
+}
+
+func TestBreakdownComponents(t *testing.T) {
+	st := run(t, core.PolicyBroadcast)
+	b := Compute(Default(), st)
+	if b.SnoopTag <= 0 || b.Cache <= 0 || b.Network <= 0 || b.DRAM <= 0 {
+		t.Fatalf("zero components: %+v", b)
+	}
+	if b.Total() <= b.SnoopTag {
+		t.Fatal("total must exceed any single component")
+	}
+}
+
+func TestVirtualSnoopingSavesSnoopEnergy(t *testing.T) {
+	base := Compute(Default(), run(t, core.PolicyBroadcast))
+	vs := Compute(Default(), run(t, core.PolicyBase))
+	// The headline claim: filtered snooping slashes tag-probe energy.
+	if vs.SnoopTag >= base.SnoopTag*0.4 {
+		t.Fatalf("snoop-tag energy %.1f vs baseline %.1f: expected <40%%",
+			vs.SnoopTag, base.SnoopTag)
+	}
+	if vs.Network >= base.Network {
+		t.Fatal("network energy did not drop")
+	}
+	if vs.Total() >= base.Total() {
+		t.Fatal("total energy did not drop")
+	}
+}
+
+func TestZeroStatsZeroEnergy(t *testing.T) {
+	var st system.Stats
+	b := Compute(Default(), &st)
+	if b.Total() != 0 {
+		t.Fatalf("empty run consumed %v nJ", b.Total())
+	}
+}

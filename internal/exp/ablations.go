@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"vsnoop/internal/core"
+	"vsnoop/internal/hv"
+	"vsnoop/internal/workload"
+)
+
+// AblationRow is one design-choice ablation: the same experiment run with
+// a design knob flipped, so DESIGN.md's choices are quantified.
+type AblationRow struct {
+	Name     string
+	Baseline float64
+	Variant  float64
+	Unit     string
+	Note     string
+}
+
+// Ablations quantifies the design choices DESIGN.md calls out:
+//
+//  1. quadrant vs linear vCPU placement (traffic reduction impact),
+//  2. four corner memory controllers vs one,
+//  3. link contention modeling on vs off (runtime impact of bandwidth),
+//  4. counter vs counter-flush vs counter-threshold at a hostile period,
+//  5. subset-pinned scheduling vs full migration when overcommitted
+//     (the paper's proposed middle ground).
+func Ablations(sc Scale) []AblationRow {
+	var rows []AblationRow
+
+	// 1. Placement: quadrant (baseline) vs linear.
+	{
+		base := pinnedCfg("fft", sc.RefsPinned, sc.Warmup)
+		tb := base
+		tb.Filter.Policy = core.PolicyBroadcast
+		bst := runMachine(tb)
+		q := runMachine(base)
+		lin := base
+		lin.LinearPlacement = true
+		linTB := lin
+		linTB.Filter.Policy = core.PolicyBroadcast
+		lst := runMachine(linTB)
+		l := runMachine(lin)
+		rows = append(rows, AblationRow{
+			Name:     "placement quadrant->linear",
+			Baseline: 100 * (1 - float64(q.ByteHops)/float64(bst.ByteHops)),
+			Variant:  100 * (1 - float64(l.ByteHops)/float64(lst.ByteHops)),
+			Unit:     "traffic reduction %",
+			Note:     "quadrant placement shortens intra-VM snoop paths",
+		})
+	}
+
+	// 2. Memory controllers: 4 corners vs 1.
+	{
+		base := pinnedCfg("ocean", sc.RefsPinned, sc.Warmup)
+		four := runMachine(base)
+		one := base
+		one.MCs = 1
+		o := runMachine(one)
+		rows = append(rows, AblationRow{
+			Name:     "memory controllers 4->1",
+			Baseline: float64(four.ExecCycles),
+			Variant:  float64(o.ExecCycles),
+			Unit:     "exec cycles",
+			Note:     "single-corner MC concentrates traffic and DRAM queueing",
+		})
+	}
+
+	// 3. Contention: on vs off (baseline TokenB, where bandwidth matters
+	// most).
+	{
+		base := pinnedCfg("canneal", sc.RefsPinned, sc.Warmup)
+		base.Filter.Policy = core.PolicyBroadcast
+		on := runMachine(base)
+		off := base
+		off.Mesh.Contention = false
+		offst := runMachine(off)
+		rows = append(rows, AblationRow{
+			Name:     "link contention on->off",
+			Baseline: float64(on.ExecCycles),
+			Variant:  float64(offst.ExecCycles),
+			Unit:     "exec cycles",
+			Note:     "contention is what virtual snooping's traffic cut buys back",
+		})
+	}
+
+	// 4. Relocation policies under a hostile 0.5 ms period, including the
+	// counter-flush extension.
+	{
+		bst := runMachine(migCfg("fft", migRefs(sc.RefsMig, 0.5), sc.MigWarmup, 0.5, core.PolicyBroadcast))
+		counter := runMachine(migCfg("fft", migRefs(sc.RefsMig, 0.5), sc.MigWarmup, 0.5, core.PolicyCounter))
+		flush := runMachine(migCfg("fft", migRefs(sc.RefsMig, 0.5), sc.MigWarmup, 0.5, core.PolicyCounterFlush))
+		rows = append(rows, AblationRow{
+			Name:     "counter vs counter-flush @0.5ms",
+			Baseline: 100 * float64(counter.SnoopsIssued) / float64(bst.SnoopsIssued),
+			Variant:  100 * float64(flush.SnoopsIssued) / float64(bst.SnoopsIssued),
+			Unit:     "normalized snoops %",
+			Note:     "flushing removes cores immediately at extra writeback cost",
+		})
+		rows = append(rows, AblationRow{
+			Name:     "counter vs counter-flush traffic @0.5ms",
+			Baseline: 100 * float64(counter.ByteHops) / float64(bst.ByteHops),
+			Variant:  100 * float64(flush.ByteHops) / float64(bst.ByteHops),
+			Unit:     "normalized traffic %",
+			Note:     "the flush writebacks show up as traffic",
+		})
+	}
+
+	// 5. Scheduler: subset pinning vs full migration, overcommitted.
+	{
+		prof := workload.MustGet("bodytrack")
+		specs := make([]hv.TaskSpec, 4)
+		for i := range specs {
+			specs[i] = hv.TaskSpec{WorkMS: sc.SchedWorkMS, BurstMeanMS: prof.BurstMeanMS,
+				BlockMeanMS: prof.BlockMeanMS, SerialFrac: prof.SerialFrac}
+		}
+		full := hv.NewCreditScheduler(hv.DefaultSchedConfig(4, false), specs).Run(sc.SchedWorkMS * 1000)
+		subCfg := hv.DefaultSchedConfig(4, false)
+		subCfg.SubsetSize = 4
+		sub := hv.NewCreditScheduler(subCfg, specs).Run(sc.SchedWorkMS * 1000)
+		rows = append(rows, AblationRow{
+			Name:     "scheduler full-migration vs subset(4)",
+			Baseline: full.MakespanMS,
+			Variant:  sub.MakespanMS,
+			Unit:     "makespan ms",
+			Note:     "subset pinning bounds snoop domains at modest throughput cost",
+		})
+		rows = append(rows, AblationRow{
+			Name:     "relocation period full vs subset(4)",
+			Baseline: full.RelocationPeriodMS,
+			Variant:  sub.RelocationPeriodMS,
+			Unit:     "ms between relocations",
+			Note:     "subset migrations stay inside the VM's snoop domain",
+		})
+	}
+
+	return rows
+}

@@ -1,0 +1,68 @@
+package exp
+
+import (
+	"vsnoop/internal/core"
+	"vsnoop/internal/energy"
+)
+
+// EnergyRow is one (workload, policy) energy breakdown — an extension
+// experiment quantifying the paper's motivating claim that snoop filtering
+// saves tag-lookup and message-transfer power (Section V.B cites
+// Moshovos et al. for snoop tag lookups consuming a significant share of
+// cache dynamic power).
+type EnergyRow struct {
+	Workload string
+	Policy   core.Policy
+
+	SnoopTagNJ float64
+	NetworkNJ  float64
+	CacheNJ    float64
+	DRAMNJ     float64
+	TotalNJ    float64
+
+	// NormTotalPct is total energy normalized to the TokenB baseline.
+	NormTotalPct float64
+	// NormSnoopTagPct is snoop-tag energy normalized to the baseline.
+	NormSnoopTagPct float64
+}
+
+// EnergyApps are the workloads of the energy extension experiment.
+var EnergyApps = []string{"fft", "canneal", "specjbb"}
+
+// Energy runs the coherence-energy comparison: TokenB vs vsnoop-base on
+// the ideally pinned system.
+func Energy(sc Scale) []EnergyRow {
+	par := energy.Default()
+	var out []EnergyRow
+	results := parallel(len(EnergyApps), func(i int) []EnergyRow {
+		app := EnergyApps[i]
+		base := pinnedCfg(app, sc.RefsPinned, sc.Warmup)
+		base.Filter.Policy = core.PolicyBroadcast
+		bst := runMachine(base)
+		bEn := energy.Compute(par, bst)
+
+		var rows []EnergyRow
+		rows = append(rows, EnergyRow{
+			Workload: app, Policy: core.PolicyBroadcast,
+			SnoopTagNJ: bEn.SnoopTag, NetworkNJ: bEn.Network,
+			CacheNJ: bEn.Cache, DRAMNJ: bEn.DRAM, TotalNJ: bEn.Total(),
+			NormTotalPct: 100, NormSnoopTagPct: 100,
+		})
+		vs := pinnedCfg(app, sc.RefsPinned, sc.Warmup)
+		vs.Filter.Policy = core.PolicyBase
+		vst := runMachine(vs)
+		vEn := energy.Compute(par, vst)
+		rows = append(rows, EnergyRow{
+			Workload: app, Policy: core.PolicyBase,
+			SnoopTagNJ: vEn.SnoopTag, NetworkNJ: vEn.Network,
+			CacheNJ: vEn.Cache, DRAMNJ: vEn.DRAM, TotalNJ: vEn.Total(),
+			NormTotalPct:    100 * vEn.Total() / bEn.Total(),
+			NormSnoopTagPct: 100 * vEn.SnoopTag / bEn.SnoopTag,
+		})
+		return rows
+	})
+	for _, g := range results {
+		out = append(out, g...)
+	}
+	return out
+}

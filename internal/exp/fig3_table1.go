@@ -1,0 +1,99 @@
+package exp
+
+import (
+	"vsnoop/internal/hv"
+	"vsnoop/internal/workload"
+)
+
+// Fig3Row is one application of Figure 3: execution time of the
+// full-migration credit scheduler normalized to the pinned (no-migration)
+// policy, in the undercommitted (2 VMs) and overcommitted (4 VMs) systems.
+type Fig3Row struct {
+	Workload string
+	// NormFullUnderPct: full-migration exec time / pinned exec time * 100,
+	// undercommitted. The paper's Figure 3(a) shows pinning winning
+	// (values >= ~100).
+	NormFullUnderPct float64
+	// NormFullOverPct: same, overcommitted. Figure 3(b) shows migration
+	// winning decisively (values well below 100).
+	NormFullOverPct float64
+}
+
+// Table1Row is one application of Table I: mean vCPU relocation periods
+// under the default (migrating) credit scheduler.
+type Table1Row struct {
+	Workload     string
+	UnderMS      float64 // measured, undercommitted (2 VMs on 8 cores)
+	OverMS       float64 // measured, overcommitted (4 VMs on 8 cores)
+	PaperUnderMS float64
+	PaperOverMS  float64
+}
+
+// paperTable1 reproduces Table I's published relocation periods (ms).
+var paperTable1 = map[string][2]float64{
+	"blackscholes":  {2880.6, 91.3},
+	"bodytrack":     {26.1, 1.2},
+	"canneal":       {28.4, 3.4},
+	"dedup":         {10.8, 0.1},
+	"facesim":       {30.0, 1.2},
+	"ferret":        {375.9, 31.5},
+	"fluidanimate":  {46.6, 7.9},
+	"freqmine":      {1968.0, 2064.4},
+	"raytrace":      {528.8, 23.6},
+	"streamcluster": {36.2, 1.3},
+	"swaptions":     {2203.1, 80.3},
+	"vips":          {18.3, 0.7},
+	"x264":          {29.2, 8.2},
+}
+
+// schedRun drives one credit-scheduler simulation.
+func schedRun(app string, vms int, pinned bool, workMS float64) hv.SchedResult {
+	prof := workload.MustGet(app)
+	specs := make([]hv.TaskSpec, vms)
+	for i := range specs {
+		specs[i] = hv.TaskSpec{
+			WorkMS: workMS, BurstMeanMS: prof.BurstMeanMS,
+			BlockMeanMS: prof.BlockMeanMS, SerialFrac: prof.SerialFrac,
+		}
+	}
+	cfg := hv.DefaultSchedConfig(vms, pinned)
+	return hv.NewCreditScheduler(cfg, specs).Run(workMS * 1000)
+}
+
+// Figure3Table1 runs the Section III scheduling experiment: 13 PARSEC
+// profiles on an 8-core host, 2 VMs (undercommitted) and 4 VMs
+// (overcommitted), pinned vs full-migration. One pass yields both
+// Figure 3 and Table I.
+func Figure3Table1(sc Scale) ([]Fig3Row, []Table1Row) {
+	type res struct {
+		f Fig3Row
+		t Table1Row
+	}
+	rows := parallel(len(ParsecApps), func(i int) res {
+		app := ParsecApps[i]
+		pinU := schedRun(app, 2, true, sc.SchedWorkMS)
+		migU := schedRun(app, 2, false, sc.SchedWorkMS)
+		pinO := schedRun(app, 4, true, sc.SchedWorkMS)
+		migO := schedRun(app, 4, false, sc.SchedWorkMS)
+		paper := paperTable1[app]
+		return res{
+			f: Fig3Row{
+				Workload:         app,
+				NormFullUnderPct: 100 * migU.MakespanMS / pinU.MakespanMS,
+				NormFullOverPct:  100 * migO.MakespanMS / pinO.MakespanMS,
+			},
+			t: Table1Row{
+				Workload:     app,
+				UnderMS:      migU.RelocationPeriodMS,
+				OverMS:       migO.RelocationPeriodMS,
+				PaperUnderMS: paper[0], PaperOverMS: paper[1],
+			},
+		}
+	})
+	f3 := make([]Fig3Row, len(rows))
+	t1 := make([]Table1Row, len(rows))
+	for i, r := range rows {
+		f3[i], t1[i] = r.f, r.t
+	}
+	return f3, t1
+}

@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"vsnoop/internal/core"
+)
+
+// MigPeriods are the four migration periods of Figures 7 and 8 (ms).
+var MigPeriods = []float64{5, 2.5, 0.5, 0.1}
+
+// MigPolicies are the three virtual-snooping variants compared against the
+// TokenB baseline in Figures 7 and 8.
+var MigPolicies = []core.Policy{core.PolicyBase, core.PolicyCounter, core.PolicyCounterThreshold}
+
+// Fig78Row is one (workload, period, policy) cell of Figures 7/8: total
+// snoops normalized to the TokenB baseline at the same period.
+type Fig78Row struct {
+	Workload     string
+	PeriodMs     float64
+	Policy       core.Policy
+	NormSnoopPct float64 // 100 = TokenB; 25 = ideal 4-of-16 multicast
+	Relocations  uint64
+	Retries      uint64
+	Persistent   uint64
+}
+
+// Figures78 sweeps workloads x migration periods x policies. Within a
+// (workload, period) group every policy shares one baseline run.
+func Figures78(sc Scale, apps []string) []Fig78Row {
+	return Figures78Periods(sc, apps, MigPeriods)
+}
+
+// Figures78Periods is Figures78 restricted to the given periods (Figure 7
+// uses 5/2.5 ms, Figure 8 uses 0.5/0.1 ms).
+func Figures78Periods(sc Scale, apps []string, periods []float64) []Fig78Row {
+	type cell struct {
+		app    string
+		period float64
+	}
+	var cells []cell
+	for _, app := range apps {
+		for _, p := range periods {
+			cells = append(cells, cell{app, p})
+		}
+	}
+	groups := parallel(len(cells), func(i int) []Fig78Row {
+		c := cells[i]
+		base := migCfg(c.app, migRefs(sc.RefsMig, c.period), sc.MigWarmup, c.period, core.PolicyBroadcast)
+		bst := runMachine(base)
+		rows := make([]Fig78Row, 0, len(MigPolicies))
+		for _, pol := range MigPolicies {
+			cfg := migCfg(c.app, migRefs(sc.RefsMig, c.period), sc.MigWarmup, c.period, pol)
+			st := runMachine(cfg)
+			rows = append(rows, Fig78Row{
+				Workload: c.app, PeriodMs: c.period, Policy: pol,
+				NormSnoopPct: 100 * float64(st.SnoopsIssued) / float64(bst.SnoopsIssued),
+				Relocations:  st.Relocations,
+				Retries:      st.Retries,
+				Persistent:   st.Persistent,
+			})
+		}
+		return rows
+	})
+	var out []Fig78Row
+	for _, g := range groups {
+		out = append(out, g...)
+	}
+	return out
+}
+
+// Fig9Series is the Figure 9 output: the cumulative distribution of the
+// time from a vCPU's departure from a core until the counter mechanism
+// removed that core from the VM's map, for a 5 ms migration period.
+type Fig9Series struct {
+	Workload string
+	Xms      []float64 // removal period (scaled ms)
+	CDF      []float64
+	N        int
+	// NeverRemoved reports maps that still held departed cores at the end
+	// of the run (blackscholes' counters never reach zero in the paper).
+	NeverRemovedPct float64
+}
+
+// Figure9 collects removal-period CDFs with the counter policy at a 5 ms
+// period for the given applications.
+func Figure9(sc Scale, apps []string) []Fig9Series {
+	return parallel(len(apps), func(i int) Fig9Series {
+		app := apps[i]
+		cfg := migCfg(app, migRefs(sc.RefsMig, 5), sc.MigWarmup, 5, core.PolicyCounter)
+		st := runMachine(cfg)
+		cdf := st.RemovalPeriods
+		xs, ys := cdf.Series(24)
+		// Convert cycles to (scaled) milliseconds.
+		ms := make([]float64, len(xs))
+		for j, x := range xs {
+			ms[j] = x / float64(cfg.CyclesPerMs)
+		}
+		// Pending removals that never resolved: relocations recorded as
+		// pending minus completed (counted through the filter's CDF).
+		sw := float64(st.Relocations)
+		var never float64
+		if sw > 0 {
+			never = 100 * (1 - float64(cdf.N())/sw)
+			if never < 0 {
+				never = 0
+			}
+		}
+		return Fig9Series{Workload: app, Xms: ms, CDF: ys, N: cdf.N(), NeverRemovedPct: never}
+	})
+}

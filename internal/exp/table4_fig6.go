@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"vsnoop/internal/core"
+)
+
+// Table4Fig6Row is one application of Table IV (network traffic reduction
+// with ideally pinned VMs) and Figure 6 (execution time normalized to the
+// TokenB baseline).
+type Table4Fig6Row struct {
+	Workload string
+
+	TrafficReductionPct  float64 // measured byte-hop reduction (Table IV)
+	PaperTrafficRedPct   float64 // Table IV's published reduction
+	NormRuntimePct       float64 // measured runtime vs TokenB (Figure 6)
+	SnoopReductionPct    float64 // measured snoop reduction (text: 75% ideal)
+	BaselineSnoopsPerTxn float64
+	VSnoopSnoopsPerTxn   float64
+}
+
+// paperTable4 holds Table IV's published traffic reductions (percent).
+var paperTable4 = map[string]float64{
+	"cholesky": 63.79, "fft": 63.20, "lu": 64.27, "ocean": 63.74,
+	"radix": 63.39, "blackscholes": 64.22, "canneal": 63.35,
+	"dedup": 64.97, "ferret": 63.05, "specjbb": 62.79,
+}
+
+// Table4Figure6 runs the Section V.B experiment: four ideally pinned VMs
+// of the same application on 16 cores, TokenB broadcast versus virtual
+// snooping, no hypervisor.
+func Table4Figure6(sc Scale) []Table4Fig6Row {
+	return parallel(len(SectionVApps), func(i int) Table4Fig6Row {
+		app := SectionVApps[i]
+		base := pinnedCfg(app, sc.RefsPinned, sc.Warmup)
+		base.Filter.Policy = core.PolicyBroadcast
+		bst := runMachine(base)
+
+		vs := pinnedCfg(app, sc.RefsPinned, sc.Warmup)
+		vs.Filter.Policy = core.PolicyBase
+		vst := runMachine(vs)
+
+		return Table4Fig6Row{
+			Workload:             app,
+			TrafficReductionPct:  100 * (1 - float64(vst.ByteHops)/float64(bst.ByteHops)),
+			PaperTrafficRedPct:   paperTable4[app],
+			NormRuntimePct:       100 * float64(vst.ExecCycles) / float64(bst.ExecCycles),
+			SnoopReductionPct:    100 * (1 - float64(vst.SnoopsIssued)/float64(bst.SnoopsIssued)),
+			BaselineSnoopsPerTxn: bst.SnoopsPerTransaction(),
+			VSnoopSnoopsPerTxn:   vst.SnoopsPerTransaction(),
+		}
+	})
+}

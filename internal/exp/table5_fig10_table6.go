@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"vsnoop/internal/core"
+	"vsnoop/internal/system"
+)
+
+// Table5Row is one application of Table V: the share of L1 accesses and of
+// L2 misses that target content-shared pages (four VMs of the same
+// application, idealized content-sharing detector).
+type Table5Row struct {
+	Workload    string
+	AccessPct   float64
+	MissPct     float64
+	PaperAccess float64
+	PaperMiss   float64
+	SharedPages uint64 // pages the detector merged
+	CowCount    uint64
+}
+
+// paperTable5 holds Table V's published percentages {access, L2 miss}.
+var paperTable5 = map[string][2]float64{
+	"cholesky": {1.45, 2.66}, "fft": {5.43, 30.64}, "lu": {0.43, 8.87},
+	"ocean": {0.40, 0.83}, "radix": {20.47, 0.96},
+	"blackscholes": {46.16, 41.10}, "canneal": {25.16, 51.49},
+	"ferret": {3.64, 5.13}, "specjbb": {9.48, 37.74},
+}
+
+// contentCfg is the Section VI setup: four pinned VMs of the same app,
+// content sharing on, no hypervisor.
+func contentCfg(app string, refs, warmup int, cp core.ContentPolicy) system.Config {
+	cfg := pinnedCfg(app, refs, warmup)
+	cfg.ContentSharing = true
+	cfg.Filter.Policy = core.PolicyBase
+	cfg.Filter.Content = cp
+	return cfg
+}
+
+// Table5 measures content-shared access/miss shares per application.
+func Table5(sc Scale) []Table5Row {
+	return parallel(len(ContentApps), func(i int) Table5Row {
+		app := ContentApps[i]
+		st := runMachine(contentCfg(app, sc.RefsContent, sc.Warmup, core.ContentBroadcast))
+		paper := paperTable5[app]
+		return Table5Row{
+			Workload:    app,
+			AccessPct:   st.ContentAccessPct(),
+			MissPct:     st.ContentMissPct(),
+			PaperAccess: paper[0],
+			PaperMiss:   paper[1],
+			CowCount:    st.Cows,
+		}
+	})
+}
+
+// Fig10Row is one (workload, content policy) bar of Figure 10: total
+// snoops normalized to the TokenB baseline.
+type Fig10Row struct {
+	Workload     string
+	Policy       core.ContentPolicy
+	NormSnoopPct float64
+}
+
+// Table6Row is one application of Table VI: where the data for L2 misses
+// on content-shared pages could have come from.
+type Table6Row struct {
+	Workload    string
+	CacheAllPct float64 // some cache held it
+	IntraVMPct  float64 // a cache of the requesting VM held it
+	FriendVMPct float64 // a friend-VM cache held it (and no intra-VM one)
+	MemoryPct   float64 // memory was the only holder
+	PaperAll    float64
+	PaperIntra  float64
+	PaperFriend float64
+	PaperMemory float64
+}
+
+// paperTable6 holds Table VI's published decompositions
+// {cache-all, intra-VM, friend-VM, memory}.
+var paperTable6 = map[string][4]float64{
+	"fft":          {47.3, 0.1, 24.4, 52.7},
+	"blackscholes": {53.2, 6.9, 27.7, 46.8},
+	"canneal":      {63.9, 26.9, 21.0, 37.1},
+	"specjbb":      {54.3, 14.8, 21.5, 45.7},
+}
+
+// Table6Apps are the four applications Table VI reports.
+var Table6Apps = []string{"fft", "blackscholes", "canneal", "specjbb"}
+
+// ContentPolicies are the four Figure 10 variants.
+var ContentPolicies = []core.ContentPolicy{
+	core.ContentBroadcast, core.ContentMemoryDirect,
+	core.ContentIntraVM, core.ContentFriendVM,
+}
+
+// Figure10Table6 runs the Section VI.B experiment: per application, a
+// TokenB baseline plus the four content policies; the holder decomposition
+// (Table VI) comes from the same runs.
+func Figure10Table6(sc Scale) ([]Fig10Row, []Table6Row) {
+	type group struct {
+		f10   []Fig10Row
+		t6    Table6Row
+		hasT6 bool
+	}
+	groups := parallel(len(ContentApps), func(i int) group {
+		app := ContentApps[i]
+		base := pinnedCfg(app, sc.RefsContent, sc.Warmup)
+		base.ContentSharing = true
+		base.Filter.Policy = core.PolicyBroadcast
+		bst := runMachine(base)
+
+		var g group
+		var holderStats *system.Stats
+		for _, cp := range ContentPolicies {
+			st := runMachine(contentCfg(app, sc.RefsContent, sc.Warmup, cp))
+			g.f10 = append(g.f10, Fig10Row{
+				Workload: app, Policy: cp,
+				NormSnoopPct: 100 * float64(st.SnoopsIssued) / float64(bst.SnoopsIssued),
+			})
+			if cp == core.ContentBroadcast {
+				holderStats = st
+			}
+		}
+		for _, t6app := range Table6Apps {
+			if t6app != app {
+				continue
+			}
+			total := float64(holderStats.HolderMemory + holderStats.HolderIntraVM +
+				holderStats.HolderFriend + holderStats.HolderOther)
+			if total == 0 {
+				break
+			}
+			paper := paperTable6[app]
+			g.t6 = Table6Row{
+				Workload:    app,
+				CacheAllPct: 100 * float64(holderStats.HolderIntraVM+holderStats.HolderFriend+holderStats.HolderOther) / total,
+				IntraVMPct:  100 * float64(holderStats.HolderIntraVM) / total,
+				FriendVMPct: 100 * float64(holderStats.HolderFriend) / total,
+				MemoryPct:   100 * float64(holderStats.HolderMemory) / total,
+				PaperAll:    paper[0], PaperIntra: paper[1],
+				PaperFriend: paper[2], PaperMemory: paper[3],
+			}
+			g.hasT6 = true
+		}
+		return g
+	})
+	var f10 []Fig10Row
+	var t6 []Table6Row
+	for _, g := range groups {
+		f10 = append(f10, g.f10...)
+		if g.hasT6 {
+			t6 = append(t6, g.t6)
+		}
+	}
+	return f10, t6
+}

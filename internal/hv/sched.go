@@ -1,0 +1,468 @@
+package hv
+
+import (
+	"fmt"
+	"math"
+
+	"vsnoop/internal/mem"
+	"vsnoop/internal/sim"
+)
+
+// TaskSpec describes the scheduling behaviour of the vCPUs of one
+// application VM: how much CPU work each vCPU must complete, and the
+// burst/block rhythm that drives scheduler-induced relocation (I/O,
+// synchronization, and pipeline stalls make a vCPU block; the Xen credit
+// scheduler then re-places it when it wakes).
+type TaskSpec struct {
+	WorkMS      float64 // total CPU time each vCPU needs
+	BurstMeanMS float64 // mean runnable burst before blocking
+	BlockMeanMS float64 // mean blocked duration
+
+	// SerialFrac is the fraction of the VM's execution spent in serial
+	// phases where only vCPU 0 is runnable (Amdahl sections, pipeline
+	// drains). Serial phases create the load imbalance that makes pinning
+	// lose badly on overcommitted systems (Figure 3b): a pinned core
+	// whose vCPUs belong to VMs in serial phases idles while runnable
+	// vCPUs queue elsewhere.
+	SerialFrac float64
+	// PhaseMS is the parallel+serial cycle length (default 20 ms).
+	PhaseMS float64
+}
+
+// SchedConfig configures one credit-scheduler simulation (Section III's
+// real-system experiment, reproduced in simulation).
+type SchedConfig struct {
+	Cores      int
+	VMs        int
+	VCPUsPerVM int
+
+	TimesliceMS     float64 // Xen credit scheduler: 30 ms
+	AccountPeriodMS float64 // credit refill period: 30 ms
+
+	// Pinned selects the "no migration" policy (one-to-one vCPU pinning);
+	// otherwise the default work-stealing "full migration" policy runs.
+	Pinned bool
+
+	// SubsetSize > 0 selects the middle-ground policy the paper proposes
+	// as future work (Section III.B / VIII): each VM may migrate only
+	// within a fixed subset of cores, bounding its snoop domain while
+	// retaining load balancing inside the subset. SubsetSize is the number
+	// of cores per VM subset (VM i uses cores [i*S, (i+1)*S) mod Cores).
+	SubsetSize int
+
+	// MigrationPenaltyMS is the cold-cache cost added to a vCPU's
+	// remaining work each time it lands on a new core.
+	MigrationPenaltyMS float64
+
+	StepMS float64 // simulation timestep (default 0.05 ms)
+	Seed   uint64
+}
+
+// DefaultSchedConfig mirrors the paper's testbed: 8 physical cores, 4
+// vCPUs per VM, Xen credit scheduler defaults.
+func DefaultSchedConfig(vms int, pinned bool) SchedConfig {
+	return SchedConfig{
+		Cores: 8, VMs: vms, VCPUsPerVM: 4,
+		TimesliceMS: 30, AccountPeriodMS: 30,
+		Pinned: pinned, MigrationPenaltyMS: 0.35,
+		StepMS: 0.05, Seed: 1,
+	}
+}
+
+// SchedResult summarizes one scheduler run.
+type SchedResult struct {
+	MakespanMS float64 // time until every vCPU finished its work
+	// Relocations counts every vCPU-to-core mapping change after first
+	// placement ("any mapping change", as Table I measures with xenperf).
+	Relocations uint64
+	// RelocationPeriodMS is the mean time between mapping changes of one
+	// vCPU (Table I's metric).
+	RelocationPeriodMS float64
+	// BusyFraction is aggregate core utilization until makespan.
+	BusyFraction float64
+}
+
+type vcpuState int
+
+const (
+	vRunnable vcpuState = iota
+	vRunning
+	vBlocked
+	vDone
+)
+
+type schedVCPU struct {
+	id        VCPU
+	spec      TaskSpec
+	state     vcpuState
+	remaining float64 // work left (ms)
+	burstLeft float64
+	unblockAt float64
+	credit    float64
+	sliceUsed float64
+	lastCore  int
+	pinned    int
+	boosted   bool // woken vCPU with BOOST priority (may preempt)
+	moves     uint64
+}
+
+// CreditScheduler simulates the Xen credit scheduler over a set of
+// burst/block vCPUs and reports makespan and relocation statistics.
+type vmPhase struct {
+	serial    bool
+	changeAt  float64
+	spec      TaskSpec
+	parallelD float64
+	serialD   float64
+}
+
+type CreditScheduler struct {
+	cfg    SchedConfig
+	rng    *sim.Rand
+	vcpus  []*schedVCPU
+	cores  []*schedVCPU // nil = idle
+	queue  []*schedVCPU // global runnable queue (full-migration mode)
+	phases []*vmPhase   // per-VM parallel/serial phase state
+
+	now      float64
+	busyTime float64
+}
+
+// NewCreditScheduler builds a scheduler with one TaskSpec per VM (specs
+// must have length cfg.VMs).
+func NewCreditScheduler(cfg SchedConfig, specs []TaskSpec) *CreditScheduler {
+	if len(specs) != cfg.VMs {
+		panic(fmt.Sprintf("hv: %d specs for %d VMs", len(specs), cfg.VMs))
+	}
+	if cfg.StepMS <= 0 {
+		cfg.StepMS = 0.05
+	}
+	s := &CreditScheduler{
+		cfg:   cfg,
+		rng:   sim.NewRand(cfg.Seed ^ 0x5EDC0DE),
+		cores: make([]*schedVCPU, cfg.Cores),
+	}
+	for vm := 0; vm < cfg.VMs; vm++ {
+		spec := specs[vm]
+		phaseMS := spec.PhaseMS
+		if phaseMS <= 0 {
+			phaseMS = 20
+		}
+		ph := &vmPhase{
+			spec:      spec,
+			parallelD: phaseMS * (1 - spec.SerialFrac),
+			serialD:   phaseMS * spec.SerialFrac,
+		}
+		ph.changeAt = ph.parallelD * (0.5 + s.rng.Float64()) // desynchronize VMs
+		s.phases = append(s.phases, ph)
+		for i := 0; i < cfg.VCPUsPerVM; i++ {
+			v := &schedVCPU{
+				id:        VCPU{VM: mem.VMID(vm), Idx: i},
+				spec:      specs[vm],
+				state:     vRunnable,
+				remaining: specs[vm].WorkMS,
+				lastCore:  -1,
+				pinned:    (vm*cfg.VCPUsPerVM + i) % cfg.Cores,
+			}
+			v.burstLeft = s.expDraw(v.spec.BurstMeanMS)
+			s.vcpus = append(s.vcpus, v)
+		}
+	}
+	return s
+}
+
+// expDraw samples an exponential with the given mean (>=1 step minimum).
+func (s *CreditScheduler) expDraw(mean float64) float64 {
+	if mean <= 0 {
+		return math.Inf(1) // never blocks
+	}
+	u := s.rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	d := -mean * math.Log(u)
+	if d < s.cfg.StepMS {
+		d = s.cfg.StepMS
+	}
+	return d
+}
+
+// Run simulates until all vCPUs finish (or maxMS elapses) and returns the
+// result.
+func (s *CreditScheduler) Run(maxMS float64) SchedResult {
+	dt := s.cfg.StepMS
+	nextAccount := s.cfg.AccountPeriodMS
+	s.refillCredits()
+	for _, v := range s.vcpus {
+		if v.state == vRunnable {
+			s.enqueue(v)
+		}
+	}
+	s.dispatch()
+	for !s.allDone() && s.now < maxMS {
+		s.now += dt
+		if s.now >= nextAccount {
+			s.refillCredits()
+			nextAccount += s.cfg.AccountPeriodMS
+		}
+		s.advancePhases()
+		s.wakeBlocked()
+		s.runStep(dt)
+		s.dispatch()
+	}
+	var relocs uint64
+	for _, v := range s.vcpus {
+		relocs += v.moves
+	}
+	res := SchedResult{
+		MakespanMS:  s.now,
+		Relocations: relocs,
+	}
+	if relocs > 0 {
+		res.RelocationPeriodMS = s.now * float64(len(s.vcpus)) / float64(relocs)
+	} else {
+		res.RelocationPeriodMS = s.now * float64(len(s.vcpus))
+	}
+	if s.now > 0 {
+		res.BusyFraction = s.busyTime / (s.now * float64(s.cfg.Cores))
+	}
+	return res
+}
+
+func (s *CreditScheduler) allDone() bool {
+	for _, v := range s.vcpus {
+		if v.state != vDone {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *CreditScheduler) refillCredits() {
+	share := s.cfg.AccountPeriodMS * float64(s.cfg.Cores) / float64(len(s.vcpus))
+	cap := 2 * share
+	for _, v := range s.vcpus {
+		if v.state == vDone {
+			continue
+		}
+		v.credit += share
+		if v.credit > cap {
+			v.credit = cap
+		}
+	}
+}
+
+// advancePhases flips VMs between parallel and serial phases. Entering a
+// serial phase forcibly blocks every vCPU of the VM except vCPU 0 until
+// the phase ends (they are waiting at a barrier / on the serial thread).
+func (s *CreditScheduler) advancePhases() {
+	for vm, ph := range s.phases {
+		if ph.serialD <= 0 || s.now < ph.changeAt {
+			continue
+		}
+		if !ph.serial {
+			ph.serial = true
+			ph.changeAt = s.now + ph.serialD
+			for _, v := range s.vcpus {
+				if int(v.id.VM) != vm || v.id.Idx == 0 || v.state == vDone {
+					continue
+				}
+				switch v.state {
+				case vRunning:
+					for c, rv := range s.cores {
+						if rv == v {
+							s.cores[c] = nil
+						}
+					}
+				case vRunnable:
+					s.removeFromQueue(v)
+				case vBlocked:
+					if v.unblockAt > ph.changeAt {
+						continue // its own block outlasts the phase
+					}
+				}
+				v.state = vBlocked
+				v.unblockAt = ph.changeAt
+			}
+		} else {
+			ph.serial = false
+			ph.changeAt = s.now + ph.parallelD
+			// The phase-blocked vCPUs wake via wakeBlocked on this step.
+		}
+	}
+}
+
+func (s *CreditScheduler) removeFromQueue(v *schedVCPU) {
+	for i, w := range s.queue {
+		if w == v {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+func (s *CreditScheduler) wakeBlocked() {
+	for _, v := range s.vcpus {
+		if v.state == vBlocked && s.now >= v.unblockAt {
+			v.state = vRunnable
+			v.burstLeft = s.expDraw(v.spec.BurstMeanMS)
+			v.boosted = true // Xen credit BOOST: wakers may preempt
+			s.enqueue(v)
+		}
+	}
+}
+
+func (s *CreditScheduler) enqueue(v *schedVCPU) {
+	s.queue = append(s.queue, v)
+}
+
+// runStep advances every running vCPU by dt of work/credit/burst.
+func (s *CreditScheduler) runStep(dt float64) {
+	for c, v := range s.cores {
+		if v == nil {
+			continue
+		}
+		s.busyTime += dt
+		v.remaining -= dt
+		v.credit -= dt
+		v.burstLeft -= dt
+		v.sliceUsed += dt
+		if v.remaining <= 0 {
+			v.state = vDone
+			s.cores[c] = nil
+			continue
+		}
+		if v.burstLeft <= 0 {
+			v.state = vBlocked
+			v.unblockAt = s.now + s.expDraw(v.spec.BlockMeanMS)
+			s.cores[c] = nil
+			continue
+		}
+		// Preemption: slice expired and someone eligible is waiting.
+		if v.sliceUsed >= s.cfg.TimesliceMS && s.waiterFor(c) {
+			v.state = vRunnable
+			s.cores[c] = nil
+			s.enqueue(v)
+		}
+	}
+}
+
+// allowed reports whether vCPU v may run on core c under the configured
+// placement policy.
+func (s *CreditScheduler) allowed(v *schedVCPU, c int) bool {
+	if s.cfg.Pinned {
+		return v.pinned == c
+	}
+	if s.cfg.SubsetSize > 0 {
+		lo := (int(v.id.VM) * s.cfg.SubsetSize) % s.cfg.Cores
+		for i := 0; i < s.cfg.SubsetSize; i++ {
+			if (lo+i)%s.cfg.Cores == c {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// waiterFor reports whether a runnable vCPU is eligible to run on core c.
+func (s *CreditScheduler) waiterFor(c int) bool {
+	for _, w := range s.queue {
+		if s.allowed(w, c) {
+			return true
+		}
+	}
+	return false
+}
+
+// dispatch fills idle cores from the runnable queue: pinned mode restricts
+// each vCPU to its home core; full-migration mode lets any idle core steal
+// any waiting vCPU (credit work-stealing), preferring vCPUs with credit
+// remaining (UNDER priority).
+func (s *CreditScheduler) dispatch() {
+	if len(s.queue) == 0 {
+		return
+	}
+	// Iterate idle cores in random order so wake placement is not biased
+	// toward low-numbered cores (mirrors Xen's tickle raciness).
+	order := s.rng.Perm(s.cfg.Cores)
+	for _, c := range order {
+		if s.cores[c] != nil || len(s.queue) == 0 {
+			continue
+		}
+		best := -1
+		for qi, w := range s.queue {
+			if !s.allowed(w, c) {
+				continue
+			}
+			if best == -1 {
+				best = qi
+				continue
+			}
+			b := s.queue[best]
+			// UNDER (credit > 0) beats OVER; then prefer cache affinity.
+			wU, bU := w.credit > 0, b.credit > 0
+			if wU != bU {
+				if wU {
+					best = qi
+				}
+				continue
+			}
+			if w.lastCore == c && b.lastCore != c {
+				best = qi
+			}
+		}
+		if best == -1 {
+			continue
+		}
+		v := s.queue[best]
+		s.queue = append(s.queue[:best], s.queue[best+1:]...)
+		s.start(v, c)
+	}
+	s.boostPreempt()
+}
+
+// boostPreempt lets freshly woken (BOOST-priority) vCPUs preempt a running
+// vCPU with lower credit, the Xen credit-scheduler behaviour that makes
+// overcommitted systems relocate vCPUs so frequently (Table I).
+func (s *CreditScheduler) boostPreempt() {
+	for qi := 0; qi < len(s.queue); qi++ {
+		w := s.queue[qi]
+		if !w.boosted {
+			continue
+		}
+		best := -1
+		for c, v := range s.cores {
+			if v == nil || v.sliceUsed < 1.0 || v.credit >= w.credit {
+				continue
+			}
+			if !s.allowed(w, c) {
+				continue
+			}
+			if best == -1 || v.credit < s.cores[best].credit {
+				best = c
+			}
+		}
+		if best == -1 {
+			continue
+		}
+		victim := s.cores[best]
+		victim.state = vRunnable
+		s.queue = append(s.queue[:qi], s.queue[qi+1:]...)
+		qi--
+		s.enqueue(victim)
+		s.start(w, best)
+	}
+}
+
+func (s *CreditScheduler) start(v *schedVCPU, c int) {
+	v.state = vRunning
+	v.sliceUsed = 0
+	v.boosted = false
+	if v.lastCore != -1 && v.lastCore != c {
+		v.moves++
+		v.remaining += s.cfg.MigrationPenaltyMS // cold-cache refill cost
+	}
+	v.lastCore = c
+	s.cores[c] = v
+}

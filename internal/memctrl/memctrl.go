@@ -1,0 +1,269 @@
+// Package memctrl implements the memory-side Token Coherence controller:
+// the token home for every block, the DRAM timing model, the persistent-
+// request arbitration table, and the read-only-sharing response rule
+// (memory supplies clean data for content-shared pages, or just a token
+// when a designated cache provider will supply the data).
+package memctrl
+
+import (
+	"fmt"
+
+	"vsnoop/internal/mem"
+	"vsnoop/internal/mesh"
+	"vsnoop/internal/sim"
+	"vsnoop/internal/token"
+)
+
+// line is the controller's per-block token account. Absent entries mean
+// "memory holds all tokens including the owner token" (the reset state).
+type line struct {
+	tokens int
+	owner  bool
+}
+
+// persistentEntry tracks the active persistent requester and the queue of
+// waiters for one block.
+type persistentEntry struct {
+	active  mesh.NodeID
+	hasAct  bool
+	waiters []token.Msg
+}
+
+// Stats are the per-controller counters.
+type Stats struct {
+	DRAMReads   uint64
+	DRAMWrites  uint64
+	TokenSends  uint64
+	Activations uint64
+}
+
+// Ctrl is one memory controller endpoint. Blocks are assigned to
+// controllers by address interleaving (done by the cache controllers).
+type Ctrl struct {
+	Eng  *sim.Engine
+	Net  *mesh.Network
+	Node mesh.NodeID
+	P    token.Params
+
+	// AllCaches lists every cache controller endpoint, for persistent
+	// activation broadcasts.
+	AllCaches []mesh.NodeID
+
+	// Oracle answers whether a designated RO provider exists among the
+	// snooped cores (see token.Oracle); nil disables the optimization and
+	// memory always sends data for RO-shared reads.
+	Oracle token.Oracle
+
+	Stats Stats
+
+	lines      map[mem.BlockAddr]*line
+	persistent map[mem.BlockAddr]*persistentEntry
+}
+
+// Init prepares internal state; call once after fields are set.
+func (m *Ctrl) Init() {
+	m.lines = make(map[mem.BlockAddr]*line)
+	m.persistent = make(map[mem.BlockAddr]*persistentEntry)
+}
+
+func (m *Ctrl) line(a mem.BlockAddr) *line {
+	l, ok := m.lines[a]
+	if !ok {
+		l = &line{tokens: m.P.TotalTokens, owner: true}
+		m.lines[a] = l
+	}
+	return l
+}
+
+// Tokens returns memory's current token count and owner flag for a block
+// (for tests and invariant checks).
+func (m *Ctrl) Tokens(a mem.BlockAddr) (int, bool) {
+	l := m.line(a)
+	return l.tokens, l.owner
+}
+
+// Handle processes a delivered coherence message (mesh handler).
+func (m *Ctrl) Handle(payload interface{}) {
+	msg := payload.(token.Msg)
+	switch msg.Kind {
+	case token.MsgGetS:
+		m.handleGetS(msg)
+	case token.MsgGetX:
+		m.handleGetX(msg)
+	case token.MsgWBData, token.MsgWBTokens, token.MsgData, token.MsgTokens:
+		m.absorb(msg)
+	case token.MsgPersistentReq:
+		m.handlePersistentReq(msg)
+	case token.MsgPersistentRelease:
+		m.handleRelease(msg)
+	default:
+		panic(fmt.Sprintf("memctrl: unexpected %v", msg.Kind))
+	}
+}
+
+func (m *Ctrl) handleGetS(msg token.Msg) {
+	if p, ok := m.persistent[msg.Addr]; ok && p.hasAct {
+		return // tokens are pledged to the persistent requester
+	}
+	l := m.line(msg.Addr)
+	if msg.Page == mem.PageROShared {
+		// Content-shared pages are guaranteed clean in memory (the
+		// hypervisor flushed them when marking them RO-shared), so memory
+		// can always serve them. If a designated cache provider is among
+		// the snooped cores, send only the token and let the cache supply
+		// the data with a fast cache-to-cache transfer.
+		if l.tokens == 0 {
+			return // everything is cached; a holder will be snooped
+		}
+		providerNearby := m.Oracle != nil && m.Oracle.ROProviderAmong(msg.Addr, msg.Dests)
+		tok, owner := m.takeOneToken(l)
+		if providerNearby {
+			m.Stats.TokenSends++
+			m.send(msg.Src, token.Msg{Kind: token.MsgTokens, Addr: msg.Addr,
+				Src: m.Node, Tokens: tok, Owner: owner}, m.P.MCLatency, false)
+		} else {
+			m.Stats.DRAMReads++
+			m.send(msg.Src, token.Msg{Kind: token.MsgData, Addr: msg.Addr,
+				Src: m.Node, Tokens: tok, Owner: owner, Data: true}, m.P.DRAMLatency, true)
+		}
+		return
+	}
+	// Ordinary TokenB: memory responds only while it holds the owner token
+	// (otherwise a cache owner has the current data and responds).
+	if !l.owner || l.tokens == 0 {
+		return
+	}
+	tok, owner := m.takeOneToken(l)
+	m.Stats.DRAMReads++
+	m.send(msg.Src, token.Msg{Kind: token.MsgData, Addr: msg.Addr, Src: m.Node,
+		Tokens: tok, Owner: owner, Data: true}, m.P.DRAMLatency, true)
+}
+
+// takeOneToken removes one token from the line, preferring to keep the
+// owner token; ownership transfers only with the last token.
+func (m *Ctrl) takeOneToken(l *line) (tokens int, owner bool) {
+	if l.tokens >= 2 || !l.owner {
+		l.tokens--
+		return 1, false
+	}
+	// Last token and it is the owner token.
+	l.tokens = 0
+	l.owner = false
+	return 1, true
+}
+
+func (m *Ctrl) handleGetX(msg token.Msg) {
+	if p, ok := m.persistent[msg.Addr]; ok && p.hasAct {
+		return
+	}
+	l := m.line(msg.Addr)
+	if l.tokens == 0 && !l.owner {
+		return
+	}
+	tok, owner := l.tokens, l.owner
+	l.tokens, l.owner = 0, false
+	if owner {
+		m.Stats.DRAMReads++
+		m.send(msg.Src, token.Msg{Kind: token.MsgData, Addr: msg.Addr, Src: m.Node,
+			Tokens: tok, Owner: true, Data: true}, m.P.DRAMLatency, true)
+	} else if tok > 0 {
+		m.Stats.TokenSends++
+		m.send(msg.Src, token.Msg{Kind: token.MsgTokens, Addr: msg.Addr, Src: m.Node,
+			Tokens: tok}, m.P.MCLatency, false)
+	}
+}
+
+// absorb folds returned tokens (writebacks or strays) back into the line,
+// or forwards them when a persistent entry is active.
+func (m *Ctrl) absorb(msg token.Msg) {
+	if p, ok := m.persistent[msg.Addr]; ok && p.hasAct && p.active != msg.Src {
+		out := msg
+		out.Src = m.Node
+		bytes := m.P.CtrlBytes
+		if out.Data {
+			bytes = m.P.DataBytes
+		}
+		m.Net.Send(m.Node, p.active, bytes, out)
+		return
+	}
+	l := m.line(msg.Addr)
+	l.tokens += msg.Tokens
+	l.owner = l.owner || msg.Owner
+	if l.tokens > m.P.TotalTokens {
+		panic(fmt.Sprintf("memctrl: token overflow at block %d (%d > %d)",
+			msg.Addr, l.tokens, m.P.TotalTokens))
+	}
+	if msg.Dirty {
+		m.Stats.DRAMWrites++
+	}
+}
+
+func (m *Ctrl) handlePersistentReq(msg token.Msg) {
+	p, ok := m.persistent[msg.Addr]
+	if !ok {
+		p = &persistentEntry{}
+		m.persistent[msg.Addr] = p
+	}
+	if p.hasAct {
+		if p.active == msg.Src {
+			return // duplicate activation from a retry
+		}
+		p.waiters = append(p.waiters, msg)
+		return
+	}
+	m.activate(p, msg)
+}
+
+func (m *Ctrl) activate(p *persistentEntry, msg token.Msg) {
+	p.active = msg.Src
+	p.hasAct = true
+	m.Stats.Activations++
+	act := token.Msg{Kind: token.MsgPersistentActivate, Addr: msg.Addr, Src: msg.Src}
+	for _, n := range m.AllCaches {
+		m.Net.Send(m.Node, n, m.P.CtrlBytes, act)
+	}
+	// Memory forwards its own tokens too.
+	l := m.line(msg.Addr)
+	if l.tokens > 0 || l.owner {
+		tok, owner := l.tokens, l.owner
+		l.tokens, l.owner = 0, false
+		if owner {
+			m.Stats.DRAMReads++
+			m.send(msg.Src, token.Msg{Kind: token.MsgData, Addr: msg.Addr, Src: m.Node,
+				Tokens: tok, Owner: true, Data: true}, m.P.DRAMLatency, true)
+		} else if tok > 0 {
+			m.send(msg.Src, token.Msg{Kind: token.MsgTokens, Addr: msg.Addr, Src: m.Node,
+				Tokens: tok}, m.P.MCLatency, false)
+		}
+	}
+}
+
+func (m *Ctrl) handleRelease(msg token.Msg) {
+	p, ok := m.persistent[msg.Addr]
+	if !ok || !p.hasAct || p.active != msg.Src {
+		return // stale release
+	}
+	deact := token.Msg{Kind: token.MsgPersistentDeactivate, Addr: msg.Addr, Src: m.Node}
+	for _, n := range m.AllCaches {
+		m.Net.Send(m.Node, n, m.P.CtrlBytes, deact)
+	}
+	p.hasAct = false
+	if len(p.waiters) > 0 {
+		next := p.waiters[0]
+		p.waiters = p.waiters[1:]
+		m.activate(p, next)
+	} else {
+		delete(m.persistent, msg.Addr)
+	}
+}
+
+// send transmits a response after the given processing latency.
+func (m *Ctrl) send(dst mesh.NodeID, msg token.Msg, latency sim.Cycle, data bool) {
+	bytes := m.P.CtrlBytes
+	if data {
+		bytes = m.P.DataBytes
+	}
+	m.Eng.Schedule(latency, func() {
+		m.Net.Send(m.Node, dst, bytes, msg)
+	})
+}

@@ -1,0 +1,58 @@
+package mesh
+
+import (
+	"testing"
+
+	"vsnoop/internal/sim"
+)
+
+func benchNet(contention bool) (*sim.Engine, *Network, []NodeID) {
+	eng := sim.NewEngine()
+	cfg := DefaultConfig()
+	cfg.Contention = contention
+	net := New(eng, cfg)
+	ids := make([]NodeID, 16)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			ids[y*4+x] = net.Attach(x, y, func(interface{}) {})
+		}
+	}
+	return eng, net, ids
+}
+
+func BenchmarkSendNoContention(b *testing.B) {
+	eng, net, ids := benchNet(false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(ids[i&15], ids[(i+7)&15], 8, nil)
+		if eng.Pending() > 4096 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+func BenchmarkSendContention(b *testing.B) {
+	eng, net, ids := benchNet(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Send(ids[i&15], ids[(i+7)&15], 72, nil)
+		if eng.Pending() > 4096 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+func BenchmarkBroadcast(b *testing.B) {
+	eng, net, ids := benchNet(true)
+	dests := ids[1:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Multicast(ids[0], dests, 8, nil)
+		if eng.Pending() > 4096 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}

@@ -1,0 +1,212 @@
+// Package mesh models the on-chip interconnect of the simulated system: a
+// 2D mesh (4x4 in the paper's Table II) with dimension-ordered XY routing,
+// 16-byte links, a 4-cycle router pipeline, and per-link serialization so
+// that snoop-request broadcasts create real contention. The network
+// accounts traffic in byte-hops (bytes transferred x links traversed),
+// which is the quantity Table IV reports ("the total amount of data
+// transferred through the network").
+//
+// Multicasts are modeled as one unicast per destination, matching the
+// broadcast behaviour of the TokenB baseline; virtual snooping's savings
+// come from shrinking the destination set.
+package mesh
+
+import (
+	"fmt"
+
+	"vsnoop/internal/sim"
+)
+
+// NodeID identifies a network endpoint (core caches and memory
+// controllers alike).
+type NodeID int
+
+// Config describes the mesh.
+type Config struct {
+	Width, Height     int
+	LinkBytesPerCycle int       // link width (bytes accepted per cycle)
+	RouterDelay       sim.Cycle // per-hop router pipeline depth
+	LinkDelay         sim.Cycle // per-hop wire delay
+	Contention        bool      // serialize messages on links
+}
+
+// DefaultConfig matches Table II: 4x4 2D mesh, 16 B links, 4-cycle router
+// pipeline.
+func DefaultConfig() Config {
+	return Config{Width: 4, Height: 4, LinkBytesPerCycle: 16, RouterDelay: 4, LinkDelay: 1, Contention: true}
+}
+
+// Handler consumes a delivered payload at a node.
+type Handler func(payload interface{})
+
+type node struct {
+	x, y    int
+	handler Handler
+}
+
+// link identifies a directed mesh link by its source router coordinates
+// and direction.
+type link struct {
+	x, y int
+	dir  uint8 // 0=east 1=west 2=north 3=south
+}
+
+// Network is the mesh interconnect. Create with New, attach endpoints,
+// then Send. All delivery happens through the shared sim.Engine.
+type Network struct {
+	cfg   Config
+	eng   *sim.Engine
+	nodes []node
+
+	nextFree map[link]sim.Cycle
+
+	// Traffic statistics, flit-quantized: a message occupies whole flits
+	// of LinkBytesPerCycle bytes on every link it crosses (an 8-byte
+	// control message on a 16-byte link still costs one full flit), which
+	// matches how Garnet-style NoC models account traffic.
+	ByteHops uint64 // flit-quantized bytes x links traversed
+	Bytes    uint64 // flit-quantized bytes injected
+	Messages uint64
+}
+
+// New creates a mesh network driven by eng.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.LinkBytesPerCycle <= 0 {
+		panic("mesh: invalid config")
+	}
+	return &Network{cfg: cfg, eng: eng, nextFree: make(map[link]sim.Cycle)}
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Attach registers an endpoint at router (x, y) and returns its NodeID.
+// Multiple endpoints may share a router (e.g. a corner core and a memory
+// controller).
+func (n *Network) Attach(x, y int, h Handler) NodeID {
+	if x < 0 || x >= n.cfg.Width || y < 0 || y >= n.cfg.Height {
+		panic(fmt.Sprintf("mesh: attach at (%d,%d) outside %dx%d", x, y, n.cfg.Width, n.cfg.Height))
+	}
+	n.nodes = append(n.nodes, node{x: x, y: y, handler: h})
+	return NodeID(len(n.nodes) - 1)
+}
+
+// SetHandler replaces the delivery handler of an endpoint (useful when the
+// endpoint object is constructed after the network).
+func (n *Network) SetHandler(id NodeID, h Handler) { n.nodes[id].handler = h }
+
+// Coords returns the router coordinates of an endpoint.
+func (n *Network) Coords(id NodeID) (x, y int) {
+	nd := n.nodes[id]
+	return nd.x, nd.y
+}
+
+// Hops returns the XY-routing hop count between two endpoints (the
+// Manhattan distance between their routers).
+func (n *Network) Hops(src, dst NodeID) int {
+	a, b := n.nodes[src], n.nodes[dst]
+	return abs(a.x-b.x) + abs(a.y-b.y)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// route enumerates the directed links an XY-routed message traverses.
+func (n *Network) route(src, dst NodeID) []link {
+	a, b := n.nodes[src], n.nodes[dst]
+	var out []link
+	x, y := a.x, a.y
+	for x != b.x {
+		if b.x > x {
+			out = append(out, link{x: x, y: y, dir: 0})
+			x++
+		} else {
+			out = append(out, link{x: x, y: y, dir: 1})
+			x--
+		}
+	}
+	for y != b.y {
+		if b.y > y {
+			out = append(out, link{x: x, y: y, dir: 3})
+			y++
+		} else {
+			out = append(out, link{x: x, y: y, dir: 2})
+			y--
+		}
+	}
+	return out
+}
+
+// serialization returns the cycles needed to push bytes through one link.
+func (n *Network) serialization(bytes int) sim.Cycle {
+	s := sim.Cycle((bytes + n.cfg.LinkBytesPerCycle - 1) / n.cfg.LinkBytesPerCycle)
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// Latency returns the zero-load latency of a message (no contention):
+// router pipeline + wire delay per hop, plus one serialization term
+// (wormhole switching: the body streams behind the header).
+func (n *Network) Latency(src, dst NodeID, bytes int) sim.Cycle {
+	hops := n.Hops(src, dst)
+	if hops == 0 {
+		// Local delivery still crosses the router once.
+		return n.cfg.RouterDelay + n.serialization(bytes)
+	}
+	return sim.Cycle(hops)*(n.cfg.RouterDelay+n.cfg.LinkDelay) + n.serialization(bytes)
+}
+
+// Send injects a message; the destination handler runs when the tail
+// arrives. Traffic statistics are charged immediately.
+func (n *Network) Send(src, dst NodeID, bytes int, payload interface{}) {
+	hops := n.Hops(src, dst)
+	n.Messages++
+	flitBytes := uint64(n.serialization(bytes)) * uint64(n.cfg.LinkBytesPerCycle)
+	n.Bytes += flitBytes
+	n.ByteHops += flitBytes * uint64(maxInt(hops, 1))
+
+	var arrive sim.Cycle
+	if !n.cfg.Contention || hops == 0 {
+		arrive = n.eng.Now() + n.Latency(src, dst, bytes)
+	} else {
+		ser := n.serialization(bytes)
+		t := n.eng.Now() + n.cfg.RouterDelay // source injection pipeline
+		for _, l := range n.route(src, dst) {
+			start := t
+			if nf := n.nextFree[l]; nf > start {
+				start = nf
+			}
+			n.nextFree[l] = start + ser
+			t = start + n.cfg.LinkDelay + n.cfg.RouterDelay
+		}
+		arrive = t + ser - 1
+	}
+	h := n.nodes[dst].handler
+	n.eng.ScheduleAt(arrive, func() {
+		if h != nil {
+			h(payload)
+		}
+	})
+}
+
+// Multicast sends the same payload to every destination (one unicast per
+// destination, as a broadcast tree is not modeled — this matches charging
+// the baseline TokenB its full broadcast cost too).
+func (n *Network) Multicast(src NodeID, dsts []NodeID, bytes int, payload interface{}) {
+	for _, d := range dsts {
+		n.Send(src, d, bytes, payload)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,132 @@
+package regionscout
+
+import (
+	"testing"
+
+	"vsnoop/internal/cache"
+	"vsnoop/internal/mem"
+	"vsnoop/internal/mesh"
+	"vsnoop/internal/token"
+)
+
+func rig(n int) (*Filter, []*cache.Cache) {
+	nodes := make([]mesh.NodeID, n)
+	caches := make([]*cache.Cache, n)
+	for i := range nodes {
+		nodes[i] = mesh.NodeID(i)
+		caches[i] = cache.New(cache.Config{Name: "L2", SizeBytes: 8192, Ways: 4, BlockBytes: 64})
+	}
+	return New(DefaultConfig(), nodes, caches), caches
+}
+
+func route(f *Filter, req int, addr mem.BlockAddr) []mesh.NodeID {
+	return f.Route(token.RouteInfo{Addr: addr, Requester: req, Attempt: 1})
+}
+
+func TestFirstRequestBroadcastsThenLearns(t *testing.T) {
+	f, caches := rig(4)
+	// First request to a region no one caches: broadcast + discovery.
+	if got := len(route(f, 0, 100)); got != 3 {
+		t.Fatalf("first request dests = %d, want broadcast", got)
+	}
+	if f.Stats.Discoveries != 1 {
+		t.Fatalf("discoveries = %d", f.Stats.Discoveries)
+	}
+	caches[0].Insert(100, 1) // requester fills
+	// Second request to the same region: NSRT hit, memory-direct.
+	if got := len(route(f, 0, 101)); got != 0 {
+		t.Fatalf("NSRT-covered request dests = %d, want 0", got)
+	}
+	if f.Stats.NSRTHits != 1 {
+		t.Fatalf("NSRT hits = %d", f.Stats.NSRTHits)
+	}
+}
+
+func TestSharedRegionNeverEntersNSRT(t *testing.T) {
+	f, caches := rig(4)
+	caches[2].Insert(100, 1) // core 2 holds a block of the region
+	if got := len(route(f, 0, 101)); got != 3 {
+		t.Fatalf("dests = %d", got)
+	}
+	if f.Stats.Discoveries != 0 {
+		t.Fatal("shared region was learned as not-shared")
+	}
+	if got := len(route(f, 0, 102)); got != 0 && f.Stats.NSRTHits > 0 {
+		t.Fatal("shared region got NSRT-filtered")
+	}
+}
+
+func TestExternalRequestKnocksOutNSRT(t *testing.T) {
+	f, _ := rig(4)
+	route(f, 0, 100) // core 0 learns region not-shared
+	if !f.NSRTContains(0, f.RegionOf(100)) {
+		t.Fatal("discovery did not populate NSRT")
+	}
+	route(f, 1, 105) // core 1 requests the same region
+	if f.NSRTContains(0, f.RegionOf(100)) {
+		t.Fatal("external request did not knock out the NSRT entry")
+	}
+	if f.Stats.Knockouts != 1 {
+		t.Fatalf("knockouts = %d", f.Stats.Knockouts)
+	}
+}
+
+func TestPresenceTracksCache(t *testing.T) {
+	f, caches := rig(2)
+	r := f.RegionOf(100)
+	caches[1].Insert(100, 1)
+	caches[1].Insert(101, 1)
+	if f.Present(1, r) != 2 {
+		t.Fatalf("present = %d", f.Present(1, r))
+	}
+	caches[1].Invalidate(caches[1].Lookup(100))
+	if f.Present(1, r) != 1 {
+		t.Fatalf("present after drop = %d", f.Present(1, r))
+	}
+	caches[1].Invalidate(caches[1].Lookup(101))
+	if f.Present(1, r) != 0 {
+		t.Fatalf("present after all dropped = %d", f.Present(1, r))
+	}
+}
+
+func TestNSRTCapacityEviction(t *testing.T) {
+	cfg := Config{RegionBlocks: 64, NSRTEntries: 2}
+	nodes := []mesh.NodeID{0, 1}
+	f := New(cfg, nodes, nil)
+	for i := 0; i < 3; i++ {
+		f.Route(token.RouteInfo{Addr: mem.BlockAddr(i * 64), Requester: 0, Attempt: 1})
+	}
+	inNSRT := 0
+	for i := 0; i < 3; i++ {
+		if f.NSRTContains(0, Region(i)) {
+			inNSRT++
+		}
+	}
+	if inNSRT != 2 {
+		t.Fatalf("NSRT holds %d regions, capacity 2", inNSRT)
+	}
+	// Oldest (region 0) must be the evicted one.
+	if f.NSRTContains(0, 0) {
+		t.Fatal("LRU region survived capacity eviction")
+	}
+}
+
+func TestRetryBypassesNSRT(t *testing.T) {
+	f, _ := rig(4)
+	route(f, 0, 100)
+	// A retry (attempt 2) must broadcast even with an NSRT hit available,
+	// mirroring the token protocol's safe-retry escalation.
+	dests := f.Route(token.RouteInfo{Addr: 100, Requester: 0, Attempt: 2})
+	if len(dests) != 3 {
+		t.Fatalf("retry dests = %d, want broadcast", len(dests))
+	}
+}
+
+func TestBadRegionSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two region accepted")
+		}
+	}()
+	New(Config{RegionBlocks: 48, NSRTEntries: 4}, []mesh.NodeID{0}, nil)
+}

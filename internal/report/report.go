@@ -1,0 +1,232 @@
+// Package report renders experiment results as the ASCII tables and series
+// the paper's tables/figures report, with paper-published values printed
+// beside measured ones wherever the paper gives a number.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"vsnoop/internal/exp"
+)
+
+func header(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+}
+
+// Figure1 renders the L2-miss decomposition.
+func Figure1(w io.Writer, rows []exp.Fig1Row) {
+	header(w, "Figure 1: L2 miss decomposition (2 VMs per workload)")
+	fmt.Fprintf(w, "%-14s %8s %8s %8s | %12s %12s\n",
+		"workload", "xen%", "dom0%", "guest%", "hv+dom0 meas", "hv+dom0 paper")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %8.2f %8.2f %8.2f | %12.2f %12.2f\n",
+			r.Workload, r.XenPct, r.Dom0Pct, r.GuestPct, r.XenPct+r.Dom0Pct, r.PaperPct)
+	}
+}
+
+// Figure2 renders the potential-reduction model.
+func Figure2(w io.Writer, rows []exp.Fig2Row) {
+	header(w, "Figure 2: potential snoop reduction (4 vCPUs per VM)")
+	fmt.Fprintf(w, "%-6s %-6s | %s\n", "VMs", "cores", "reduction%% by hypervisor ratio (0,5,10,20,30,40%)")
+	byVM := map[int][]exp.Fig2Row{}
+	var order []int
+	for _, r := range rows {
+		if _, ok := byVM[r.VMs]; !ok {
+			order = append(order, r.VMs)
+		}
+		byVM[r.VMs] = append(byVM[r.VMs], r)
+	}
+	for _, vms := range order {
+		rs := byVM[vms]
+		fmt.Fprintf(w, "%-6d %-6d |", vms, rs[0].Cores)
+		for _, r := range rs {
+			fmt.Fprintf(w, " %6.2f", r.ReductionPct)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "paper anchors: 16 VMs ideal >93%; 84-89% at 5-10% hypervisor misses")
+}
+
+// Figure3 renders the pinning-vs-migration execution times.
+func Figure3(w io.Writer, rows []exp.Fig3Row) {
+	header(w, "Figure 3: full-migration exec time normalized to pinned (=100)")
+	fmt.Fprintf(w, "%-14s %22s %22s\n", "workload", "undercommitted(2VM)", "overcommitted(4VM)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %21.1f%% %21.1f%%\n", r.Workload, r.NormFullUnderPct, r.NormFullOverPct)
+	}
+	fmt.Fprintln(w, "paper shape: pinning wins undercommitted; migration wins overcommitted")
+}
+
+// Table1 renders relocation periods.
+func Table1(w io.Writer, rows []exp.Table1Row) {
+	header(w, "Table I: average vCPU relocation periods (ms)")
+	fmt.Fprintf(w, "%-14s %12s %12s | %12s %12s\n",
+		"workload", "under meas", "over meas", "under paper", "over paper")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %12.1f %12.1f | %12.1f %12.1f\n",
+			r.Workload, r.UnderMS, r.OverMS, r.PaperUnderMS, r.PaperOverMS)
+	}
+}
+
+// Table4Figure6 renders traffic reduction and normalized runtime.
+func Table4Figure6(w io.Writer, rows []exp.Table4Fig6Row) {
+	header(w, "Table IV + Figure 6: ideally pinned VMs (4 VMs x 4 vCPUs, 16 cores)")
+	fmt.Fprintf(w, "%-14s %14s %14s %14s %14s\n",
+		"workload", "traffic red%", "paper red%", "norm runtime%", "snoop red%")
+	var sumT, sumP, sumR float64
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %14.2f %14.2f %14.2f %14.2f\n",
+			r.Workload, r.TrafficReductionPct, r.PaperTrafficRedPct,
+			r.NormRuntimePct, r.SnoopReductionPct)
+		sumT += r.TrafficReductionPct
+		sumP += r.PaperTrafficRedPct
+		sumR += r.NormRuntimePct
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(w, "%-14s %14.2f %14.2f %14.2f\n", "average", sumT/n, sumP/n, sumR/n)
+	fmt.Fprintln(w, "paper: avg traffic reduction 63.68%; runtimes 90.9-99.8% (avg ~96.2%)")
+}
+
+// Figures78 renders the migration sweeps.
+func Figures78(w io.Writer, rows []exp.Fig78Row) {
+	header(w, "Figures 7/8: normalized snoops vs TokenB under vCPU relocation (ideal=25%)")
+	fmt.Fprintf(w, "%-14s %8s | %12s %12s %18s\n",
+		"workload", "period", "vsnoop-base", "counter", "counter-threshold")
+	type key struct {
+		app    string
+		period float64
+	}
+	cells := map[key]map[string]float64{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.Workload, r.PeriodMs}
+		if _, ok := cells[k]; !ok {
+			cells[k] = map[string]float64{}
+			order = append(order, k)
+		}
+		cells[k][r.Policy.String()] = r.NormSnoopPct
+	}
+	for _, k := range order {
+		c := cells[k]
+		fmt.Fprintf(w, "%-14s %6.1fms | %11.1f%% %11.1f%% %17.1f%%\n",
+			k.app, k.period, c["vsnoop-base"], c["counter"], c["counter-threshold"])
+	}
+	fmt.Fprintln(w, "paper shape: counter near 25% at 5/2.5ms, ~55% at 0.1ms; base ~96% at 0.1ms")
+}
+
+// Figure9 renders removal-period CDFs.
+func Figure9(w io.Writer, series []exp.Fig9Series) {
+	header(w, "Figure 9: CDF of core-removal period after relocation (counter, 5ms period)")
+	for _, s := range series {
+		fmt.Fprintf(w, "%-14s n=%-6d never-removed=%.1f%%\n", s.Workload, s.N, s.NeverRemovedPct)
+		if len(s.Xms) == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  ms : ")
+		for i := 0; i < len(s.Xms); i += 4 {
+			fmt.Fprintf(w, "%7.1f", s.Xms[i])
+		}
+		fmt.Fprintf(w, "\n  cdf: ")
+		for i := 0; i < len(s.CDF); i += 4 {
+			fmt.Fprintf(w, "%7.2f", s.CDF[i])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "paper shape: most removals < 10ms; radix/ferret tails; blackscholes never removes")
+}
+
+// Table5 renders content-shared access/miss shares.
+func Table5(w io.Writer, rows []exp.Table5Row) {
+	header(w, "Table V: L1 accesses / L2 misses on content-shared pages (%)")
+	fmt.Fprintf(w, "%-14s %10s %10s | %10s %10s\n",
+		"workload", "access", "L2miss", "paper acc", "paper miss")
+	var sa, sm float64
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %10.2f %10.2f | %10.2f %10.2f\n",
+			r.Workload, r.AccessPct, r.MissPct, r.PaperAccess, r.PaperMiss)
+		sa += r.AccessPct
+		sm += r.MissPct
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(w, "%-14s %10.2f %10.2f | %10.2f %10.2f\n", "average", sa/n, sm/n, 12.51, 19.94)
+}
+
+// Figure10 renders the content-policy snoop comparison.
+func Figure10(w io.Writer, rows []exp.Fig10Row) {
+	header(w, "Figure 10: normalized snoops with content-sharing policies (vs TokenB)")
+	fmt.Fprintf(w, "%-14s %16s %14s %10s %10s\n",
+		"workload", "vsnoop-broadcast", "memory-direct", "intra-VM", "friend-VM")
+	type rowmap = map[string]float64
+	per := map[string]rowmap{}
+	var order []string
+	for _, r := range rows {
+		if _, ok := per[r.Workload]; !ok {
+			per[r.Workload] = rowmap{}
+			order = append(order, r.Workload)
+		}
+		per[r.Workload][r.Policy.String()] = r.NormSnoopPct
+	}
+	for _, app := range order {
+		c := per[app]
+		fmt.Fprintf(w, "%-14s %15.1f%% %13.1f%% %9.1f%% %9.1f%%\n",
+			app, c["vsnoop-broadcast"], c["memory-direct"], c["intra-VM"], c["friend-VM"])
+	}
+	fmt.Fprintln(w, "paper shape: memory-direct lowest (<=25%); all beat broadcast on fft/blacksch./canneal/specjbb")
+}
+
+// Table6 renders the data-holder decomposition.
+func Table6(w io.Writer, rows []exp.Table6Row) {
+	header(w, "Table VI: potential data holders for content-shared L2 misses (%)")
+	fmt.Fprintf(w, "%-14s | %21s | %21s | %21s | %21s\n",
+		"workload", "cache:all meas/paper", "intra-VM meas/paper",
+		"friend-VM meas/paper", "memory meas/paper")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s | %9.1f / %8.1f | %9.1f / %8.1f | %9.1f / %8.1f | %9.1f / %8.1f\n",
+			r.Workload,
+			r.CacheAllPct, r.PaperAll,
+			r.IntraVMPct, r.PaperIntra,
+			r.FriendVMPct, r.PaperFriend,
+			r.MemoryPct, r.PaperMemory)
+	}
+}
+
+// Ablations renders the design-choice ablation table.
+func Ablations(w io.Writer, rows []exp.AblationRow) {
+	header(w, "Ablations: design choices quantified")
+	fmt.Fprintf(w, "%-42s %12s %12s  %s\n", "ablation", "baseline", "variant", "unit")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-42s %12.1f %12.1f  %s\n", r.Name, r.Baseline, r.Variant, r.Unit)
+		fmt.Fprintf(w, "%-42s %s\n", "", r.Note)
+	}
+}
+
+// Energy renders the coherence-energy extension experiment.
+func Energy(w io.Writer, rows []exp.EnergyRow) {
+	header(w, "Energy (extension): coherence dynamic energy, TokenB vs virtual snooping")
+	fmt.Fprintf(w, "%-12s %-12s %10s %10s %10s %10s %10s | %9s %9s\n",
+		"workload", "policy", "snooptag", "network", "cache", "dram", "total(nJ)",
+		"total%", "snoop%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-12s %10.0f %10.0f %10.0f %10.0f %10.0f | %8.1f%% %8.1f%%\n",
+			r.Workload, r.Policy, r.SnoopTagNJ, r.NetworkNJ, r.CacheNJ, r.DRAMNJ,
+			r.TotalNJ, r.NormTotalPct, r.NormSnoopTagPct)
+	}
+	fmt.Fprintln(w, "paper motivation: snoop filtering primarily saves tag-lookup + message power")
+}
+
+// Comparison renders the virtual-snooping vs RegionScout comparison.
+func Comparison(w io.Writer, rows []exp.ComparisonRow) {
+	header(w, "Comparison (extension): vsnoop vs region filtering vs directory")
+	fmt.Fprintf(w, "%-12s %-12s %11s %12s %13s %13s %10s\n",
+		"workload", "filter", "snoops/txn", "norm snoop%", "traffic red%", "norm runtime%", "miss lat")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-12s %11.2f %11.1f%% %12.1f%% %12.1f%% %9.0fc\n",
+			r.Workload, r.Filter, r.SnoopsPerTxn, r.NormSnoopPct,
+			r.TrafficRedPct, r.NormRuntimePct, r.MissLatency)
+	}
+	fmt.Fprintln(w, "paper claims (Sec VII): VM boundaries give a free snoop domain (no tables,")
+	fmt.Fprintln(w, "no rediscovery); filtered snooping keeps 2-hop transfers, directories pay")
+	fmt.Fprintln(w, "home indirection on every miss")
+}

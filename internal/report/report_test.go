@@ -1,0 +1,107 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"vsnoop/internal/core"
+	"vsnoop/internal/exp"
+)
+
+func TestFigure1Rendering(t *testing.T) {
+	var b strings.Builder
+	Figure1(&b, []exp.Fig1Row{
+		{Workload: "oltp", XenPct: 5.5, Dom0Pct: 9.4, GuestPct: 85.1, PaperPct: 15},
+	})
+	out := b.String()
+	for _, want := range []string{"Figure 1", "oltp", "5.50", "9.40", "15.00"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure2Rendering(t *testing.T) {
+	var b strings.Builder
+	Figure2(&b, exp.Figure2())
+	out := b.String()
+	if !strings.Contains(out, "93.75") {
+		t.Fatalf("ideal 16-VM point missing:\n%s", out)
+	}
+	// One row per VM count.
+	for _, vms := range []string{"\n2 ", "\n4 ", "\n8 ", "\n16 "} {
+		if !strings.Contains(out, strings.TrimSpace(vms)) {
+			t.Fatalf("row for %s VMs missing", vms)
+		}
+	}
+}
+
+func TestTable4Fig6Rendering(t *testing.T) {
+	var b strings.Builder
+	Table4Figure6(&b, []exp.Table4Fig6Row{
+		{Workload: "fft", TrafficReductionPct: 61.5, PaperTrafficRedPct: 63.2,
+			NormRuntimePct: 96.1, SnoopReductionPct: 75.0},
+	})
+	out := b.String()
+	for _, want := range []string{"fft", "61.50", "63.20", "average"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigures78GroupsByCell(t *testing.T) {
+	var b strings.Builder
+	rows := []exp.Fig78Row{
+		{Workload: "fft", PeriodMs: 5, Policy: core.PolicyBase, NormSnoopPct: 46},
+		{Workload: "fft", PeriodMs: 5, Policy: core.PolicyCounter, NormSnoopPct: 26},
+		{Workload: "fft", PeriodMs: 5, Policy: core.PolicyCounterThreshold, NormSnoopPct: 25.5},
+	}
+	Figures78(&b, rows)
+	out := b.String()
+	if strings.Count(out, "fft") != 1 {
+		t.Fatalf("expected one merged row per (workload, period):\n%s", out)
+	}
+	for _, want := range []string{"46.0%", "26.0%", "25.5%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure9Rendering(t *testing.T) {
+	var b strings.Builder
+	Figure9(&b, []exp.Fig9Series{
+		{Workload: "radix", Xms: []float64{1, 2, 3, 4}, CDF: []float64{0.1, 0.4, 0.8, 1}, N: 40, NeverRemovedPct: 2.5},
+	})
+	out := b.String()
+	if !strings.Contains(out, "radix") || !strings.Contains(out, "never-removed=2.5%") {
+		t.Fatalf("figure 9 output wrong:\n%s", out)
+	}
+}
+
+func TestTable6Rendering(t *testing.T) {
+	var b strings.Builder
+	Table6(&b, []exp.Table6Row{{
+		Workload: "canneal", CacheAllPct: 74.3, IntraVMPct: 30, FriendVMPct: 26.2,
+		MemoryPct: 25.7, PaperAll: 63.9, PaperIntra: 26.9, PaperFriend: 21, PaperMemory: 37.1,
+	}})
+	out := b.String()
+	for _, want := range []string{"canneal", "74.3", "63.9", "37.1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAblationsRendering(t *testing.T) {
+	var b strings.Builder
+	Ablations(&b, []exp.AblationRow{{
+		Name: "placement quadrant->linear", Baseline: 61.5, Variant: 55.2,
+		Unit: "traffic reduction %", Note: "locality matters",
+	}})
+	out := b.String()
+	if !strings.Contains(out, "placement") || !strings.Contains(out, "locality matters") {
+		t.Fatalf("ablation output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,32 @@
+package sim
+
+import "testing"
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(Cycle(i&1023), func() {})
+		if e.Pending() > 8192 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
+func BenchmarkRandUint64(b *testing.B) {
+	r := NewRand(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkRandZipf(b *testing.B) {
+	r := NewRand(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += r.Zipf(4096, 0.7)
+	}
+	_ = sink
+}

@@ -1,0 +1,114 @@
+// Package sim provides the discrete-event simulation kernel used by every
+// timing model in this repository: a cycle clock, a deterministic event
+// queue, and reproducible pseudo-random number streams.
+//
+// All simulators in this project (mesh network, caches, token coherence,
+// hypervisor scheduler) are built as event handlers scheduled on a single
+// Engine. Determinism is guaranteed: events at the same cycle fire in
+// schedule order, and all randomness flows from explicitly seeded Rand
+// streams, so a run is a pure function of its configuration.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycle is a point in simulated time, measured in clock cycles.
+type Cycle uint64
+
+// Event is a closure scheduled to run at a particular cycle.
+type event struct {
+	at  Cycle
+	seq uint64 // tie-breaker: schedule order within a cycle
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    Cycle
+	seq    uint64
+	events eventHeap
+	fired  uint64
+}
+
+// NewEngine returns an empty engine at cycle 0.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Fired returns the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay cycles (delay 0 means later this cycle,
+// after all currently queued same-cycle events).
+func (e *Engine) Schedule(delay Cycle, fn func()) {
+	e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at the given absolute cycle, which must not be in the
+// past.
+func (e *Engine) ScheduleAt(at Cycle, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+}
+
+// Step executes the next event, advancing the clock to its cycle. It
+// returns false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= limit, then stops. The clock
+// is left at the timestamp of the last executed event (or limit if the
+// queue drained earlier than limit and AdvanceTo semantics are not needed).
+func (e *Engine) RunUntil(limit Cycle) {
+	for len(e.events) > 0 && e.events[0].at <= limit {
+		e.Step()
+	}
+	if e.now < limit {
+		e.now = limit
+	}
+}
+
+// RunFor executes events for the next d cycles (relative RunUntil).
+func (e *Engine) RunFor(d Cycle) { e.RunUntil(e.now + d) }

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(10, func() { got = append(got, 2) })
+	e.Schedule(5, func() { got = append(got, 1) })
+	e.Schedule(10, func() { got = append(got, 3) }) // same cycle: schedule order
+	e.Schedule(20, func() { got = append(got, 4) })
+	e.Run()
+	want := []int{1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event order got %v want %v", got, want)
+		}
+	}
+	if e.Now() != 20 {
+		t.Fatalf("clock = %d, want 20", e.Now())
+	}
+	if e.Fired() != 4 {
+		t.Fatalf("fired = %d, want 4", e.Fired())
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var seq []Cycle
+	e.Schedule(1, func() {
+		seq = append(seq, e.Now())
+		e.Schedule(2, func() { seq = append(seq, e.Now()) })
+		e.Schedule(0, func() { seq = append(seq, e.Now()) }) // same-cycle follow-up
+	})
+	e.Run()
+	if len(seq) != 3 || seq[0] != 1 || seq[1] != 1 || seq[2] != 3 {
+		t.Fatalf("seq = %v, want [1 1 3]", seq)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	for i := Cycle(1); i <= 10; i++ {
+		e.Schedule(i*10, func() { fired++ })
+	}
+	e.RunUntil(50)
+	if fired != 5 {
+		t.Fatalf("fired %d events by cycle 50, want 5", fired)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %d, want 50", e.Now())
+	}
+	e.Run()
+	if fired != 10 {
+		t.Fatalf("fired %d total, want 10", fired)
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(123)
+	if e.Now() != 123 {
+		t.Fatalf("idle RunUntil left clock at %d, want 123", e.Now())
+	}
+	e.RunFor(7)
+	if e.Now() != 130 {
+		t.Fatalf("RunFor left clock at %d, want 130", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.ScheduleAt(5, func() {})
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a.Seed(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical draws of 1000", same)
+	}
+}
+
+func TestRandTaggedIndependence(t *testing.T) {
+	a := NewRandTagged(7, "core0")
+	b := NewRandTagged(7, "core1")
+	identical := true
+	for i := 0; i < 64; i++ {
+		if a.Uint64() != b.Uint64() {
+			identical = false
+			break
+		}
+	}
+	if identical {
+		t.Fatal("tagged streams with different tags are identical")
+	}
+	c := NewRandTagged(7, "core0")
+	d := NewRandTagged(7, "core0")
+	for i := 0; i < 64; i++ {
+		if c.Uint64() != d.Uint64() {
+			t.Fatal("same tag+seed streams differ")
+		}
+	}
+}
+
+func TestRandIntnBounds(t *testing.T) {
+	r := NewRand(1)
+	err := quick.Check(func(nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	r := NewRand(5)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(40)
+		p := r.Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestRandBoolProbability(t *testing.T) {
+	r := NewRand(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) frequency = %v, want ~0.3", frac)
+	}
+}
+
+func TestRandZipfSkewAndBounds(t *testing.T) {
+	r := NewRand(3)
+	const n = 1000
+	counts := make([]int, n)
+	for i := 0; i < 200000; i++ {
+		v := r.Zipf(n, 0.8)
+		if v < 0 || v >= n {
+			t.Fatalf("Zipf out of bounds: %d", v)
+		}
+		counts[v]++
+	}
+	lowHalf, highHalf := 0, 0
+	for i, c := range counts {
+		if i < n/2 {
+			lowHalf += c
+		} else {
+			highHalf += c
+		}
+	}
+	if lowHalf <= highHalf {
+		t.Fatalf("Zipf not skewed toward low ranks: low=%d high=%d", lowHalf, highHalf)
+	}
+}
+
+func TestEngineManyEventsStaySorted(t *testing.T) {
+	e := NewEngine()
+	r := NewRand(77)
+	last := Cycle(0)
+	ok := true
+	for i := 0; i < 5000; i++ {
+		at := Cycle(r.Intn(100000))
+		e.ScheduleAt(at, func() {
+			if e.Now() < last {
+				ok = false
+			}
+			last = e.Now()
+		})
+	}
+	e.Run()
+	if !ok {
+		t.Fatal("events fired out of time order")
+	}
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersBasics(t *testing.T) {
+	c := NewCounters()
+	c.Inc("a")
+	c.Add("b", 5)
+	c.Inc("a")
+	if c.Get("a") != 2 || c.Get("b") != 5 || c.Get("missing") != 0 {
+		t.Fatalf("counter values wrong: a=%d b=%d", c.Get("a"), c.Get("b"))
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names order wrong: %v", names)
+	}
+}
+
+func TestCountersMerge(t *testing.T) {
+	a := NewCounters()
+	a.Add("x", 3)
+	b := NewCounters()
+	b.Add("x", 4)
+	b.Add("y", 1)
+	a.Merge(b)
+	if a.Get("x") != 7 || a.Get("y") != 1 {
+		t.Fatalf("merge wrong: x=%d y=%d", a.Get("x"), a.Get("y"))
+	}
+}
+
+func TestSampleSummary(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	if math.Abs(s.Var()-4) > 1e-9 {
+		t.Fatalf("Var = %v, want 4", s.Var())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Var() != 0 || s.N() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	var c CDF
+	for _, v := range []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		c.Observe(v)
+	}
+	if got := c.At(5); got != 0.5 {
+		t.Fatalf("At(5) = %v, want 0.5", got)
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Fatalf("At(0.5) = %v, want 0", got)
+	}
+	if got := c.At(10); got != 1 {
+		t.Fatalf("At(10) = %v, want 1", got)
+	}
+	if got := c.Quantile(0.5); got != 6 {
+		t.Fatalf("Quantile(0.5) = %v, want 6 (nearest rank)", got)
+	}
+	if got := c.Quantile(0); got != 1 {
+		t.Fatalf("Quantile(0) = %v", got)
+	}
+	if got := c.Quantile(1); got != 10 {
+		t.Fatalf("Quantile(1) = %v", got)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	var c CDF
+	err := quick.Check(func(raw []uint16) bool {
+		c = CDF{}
+		for _, v := range raw {
+			c.Observe(float64(v))
+		}
+		if len(raw) == 0 {
+			return c.At(1) == 0
+		}
+		prev := -1.0
+		for x := 0.0; x < 70000; x += 7001 {
+			y := c.At(x)
+			if y < prev || y < 0 || y > 1 {
+				return false
+			}
+			prev = y
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 100; i++ {
+		c.Observe(float64(i))
+	}
+	xs, ys := c.Series(10)
+	if len(xs) != 10 || len(ys) != 10 {
+		t.Fatalf("series lengths %d %d", len(xs), len(ys))
+	}
+	if ys[9] != 1 {
+		t.Fatalf("series must end at 1, got %v", ys[9])
+	}
+	for i := 1; i < 10; i++ {
+		if ys[i] < ys[i-1] {
+			t.Fatalf("series not monotone at %d: %v", i, ys)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 5)
+	for _, v := range []float64{0, 5, 9.99, 10, 49, 50, 1000} {
+		h.Observe(v)
+	}
+	if h.Bin(0) != 3 {
+		t.Fatalf("bin0 = %d, want 3", h.Bin(0))
+	}
+	if h.Bin(1) != 1 {
+		t.Fatalf("bin1 = %d, want 1", h.Bin(1))
+	}
+	if h.Bin(4) != 1 {
+		t.Fatalf("bin4 = %d, want 1", h.Bin(4))
+	}
+	if h.Overflow() != 2 {
+		t.Fatalf("overflow = %d, want 2", h.Overflow())
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d, want 7", h.Total())
+	}
+}
+
+func TestNormalizeReduction(t *testing.T) {
+	if Normalize(50, 200) != 25 {
+		t.Fatal("Normalize wrong")
+	}
+	if Reduction(50, 200) != 75 {
+		t.Fatal("Reduction wrong")
+	}
+	if Normalize(1, 0) != 0 || Reduction(1, 0) != 0 {
+		t.Fatal("zero base must yield 0")
+	}
+}

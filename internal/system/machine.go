@@ -1,0 +1,569 @@
+package system
+
+import (
+	"fmt"
+
+	"vsnoop/internal/cache"
+	"vsnoop/internal/core"
+	"vsnoop/internal/directory"
+	"vsnoop/internal/hv"
+	"vsnoop/internal/mem"
+	"vsnoop/internal/memctrl"
+	"vsnoop/internal/mesh"
+	"vsnoop/internal/regionscout"
+	"vsnoop/internal/sim"
+	"vsnoop/internal/tlb"
+	"vsnoop/internal/token"
+	"vsnoop/internal/workload"
+)
+
+// coreNode is one core's hardware: private L1/L2 and the coherence
+// controller, plus the queue of vCPUs waiting for the controller.
+type coreNode struct {
+	idx    int
+	node   mesh.NodeID
+	l1, l2 *cache.Cache
+	tlb    *tlb.TLB
+	ctrl   *token.CacheCtrl     // token-protocol controller (nil in directory mode)
+	dctrl  *directory.CacheCtrl // directory-protocol controller (nil in token mode)
+	waiter func()               // a vCPU whose reference is blocked on a busy controller
+}
+
+// busy reports whether the core's coherence controller has an outstanding
+// transaction, regardless of protocol.
+func (cn *coreNode) busy() bool {
+	if cn.dctrl != nil {
+		return cn.dctrl.Busy()
+	}
+	return cn.ctrl.Busy()
+}
+
+// start launches a coherence transaction on whichever protocol is wired.
+func (cn *coreNode) start(addr mem.BlockAddr, vm mem.VMID, pt mem.PageType, write bool, done func()) {
+	if cn.dctrl != nil {
+		cn.dctrl.Start(addr, vm, write, done)
+		return
+	}
+	cn.ctrl.Start(addr, vm, pt, write, done)
+}
+
+// RefSource produces a vCPU's reference stream. workload.Generator is the
+// synthetic default; trace.Replayer replays a recorded stream.
+type RefSource interface {
+	Next() workload.Ref
+}
+
+// vcpu is one virtual CPU: its reference source, progress, and identity.
+type vcpu struct {
+	id       hv.VCPU
+	gen      RefSource
+	left     int // references remaining
+	executed int // references issued so far (for warmup accounting)
+}
+
+// Machine is a fully wired simulated system.
+type Machine struct {
+	cfg Config
+
+	Eng    *sim.Engine
+	Net    *mesh.Network
+	MM     *mem.Manager
+	Mapper *hv.Mapper
+	Filter *core.Filter
+
+	cores  []*coreNode
+	rs     *regionscout.Filter
+	mcs    []*memctrl.Ctrl
+	homes  []*directory.Home
+	vcpus  []*vcpu
+	node2i map[mesh.NodeID]int // core endpoint -> core index
+
+	dom0 mem.VMID
+
+	Stats Stats
+
+	// DebugMissHook, if set, receives (guest page, write) for every
+	// measured guest L2 miss; used by calibration tooling only.
+	DebugMissHook func(page int, write bool)
+
+	liveVCPUs int
+	warmLeft  int  // vCPUs still inside the warmup phase
+	warmed    bool // statistics snapshot taken
+}
+
+// New builds a machine from cfg; it returns an error on invalid
+// configuration.
+func New(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{cfg: cfg, Eng: sim.NewEngine(), node2i: make(map[mesh.NodeID]int)}
+	m.Net = mesh.New(m.Eng, cfg.Mesh)
+	m.MM = mem.NewManager(cfg.HvPages)
+	m.Mapper = hv.NewMapper(cfg.Cores)
+	m.dom0 = mem.VMID(0xFFFD)
+	m.Stats.init(cfg)
+
+	// Core endpoints, row-major on the mesh.
+	coreNodes := make([]mesh.NodeID, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		x, y := i%cfg.Mesh.Width, i/cfg.Mesh.Width
+		coreNodes[i] = m.Net.Attach(x, y, nil)
+		m.node2i[coreNodes[i]] = i
+	}
+	// Memory controllers at the corners, block-interleaved.
+	cornerXY := [4][2]int{{0, 0}, {cfg.Mesh.Width - 1, 0}, {0, cfg.Mesh.Height - 1}, {cfg.Mesh.Width - 1, cfg.Mesh.Height - 1}}
+	mcNodes := make([]mesh.NodeID, cfg.MCs)
+	for i := 0; i < cfg.MCs; i++ {
+		mcNodes[i] = m.Net.Attach(cornerXY[i][0], cornerXY[i][1], nil)
+	}
+
+	// Caches + filter.
+	l2s := make([]*cache.Cache, cfg.Cores)
+	for i := range l2s {
+		l2s[i] = cache.New(cfg.L2)
+	}
+	m.Filter = core.NewFilter(m.Eng, cfg.Filter, coreNodes, l2s)
+
+	// Cache-side controllers.
+	dirParams := directory.DefaultParams()
+	dirParams.CtrlBytes, dirParams.DataBytes = cfg.P.CtrlBytes, cfg.P.DataBytes
+	dirParams.L2Latency, dirParams.FillLatency = cfg.P.L2Latency, cfg.P.FillLatency
+	dirParams.DRAMLatency = cfg.P.DRAMLatency
+	for i := 0; i < cfg.Cores; i++ {
+		cn := &coreNode{idx: i, node: coreNodes[i], l2: l2s[i], l1: cache.New(cfg.L1), tlb: tlb.New(cfg.TLB)}
+		if cfg.Directory {
+			cn.dctrl = &directory.CacheCtrl{
+				Eng: m.Eng, Net: m.Net, Node: coreNodes[i], Core: i,
+				L2: cn.l2, P: dirParams, Tokens: cfg.P.TotalTokens,
+				Homes: mcNodes,
+			}
+			cn.dctrl.Init()
+			m.Net.SetHandler(coreNodes[i], cn.dctrl.Handle)
+		} else {
+			others := make([]mesh.NodeID, 0, cfg.Cores-1)
+			for j, n := range coreNodes {
+				if j != i {
+					others = append(others, n)
+				}
+			}
+			cn.ctrl = &token.CacheCtrl{
+				Eng: m.Eng, Net: m.Net, Node: coreNodes[i], Core: i,
+				L2: cn.l2, P: cfg.P, Router: m.Filter,
+				AllCores: others, MCNodes: mcNodes,
+				Rng: sim.NewRandTagged(cfg.Seed, fmt.Sprintf("ctrl%d", i)),
+			}
+			cn.ctrl.Init()
+			cn.ctrl.OnFill = m.onFill
+			m.Net.SetHandler(coreNodes[i], cn.ctrl.Handle)
+		}
+		// L1 inclusion: L2 drops force L1 drops.
+		l1 := cn.l1
+		cn.l2.OnDrop = func(a mem.BlockAddr) {
+			if b := l1.Lookup(a); b != nil {
+				l1.Invalidate(b)
+			}
+		}
+		m.cores = append(m.cores, cn)
+	}
+
+	// Optional RegionScout router (related-work comparison). Wired after
+	// the L1-inclusion hooks so its presence tracking chains with them.
+	if cfg.UseRegionScout {
+		m.rs = regionscout.New(regionscout.DefaultConfig(), coreNodes, l2s)
+		for _, cn := range m.cores {
+			cn.ctrl.Router = m.rs
+		}
+	}
+
+	// Memory-side controllers: directory homes or token homes.
+	if cfg.Directory {
+		for i := 0; i < cfg.MCs; i++ {
+			h := &directory.Home{Eng: m.Eng, Net: m.Net, Node: mcNodes[i], P: dirParams}
+			h.Init()
+			m.Net.SetHandler(mcNodes[i], h.Handle)
+			m.homes = append(m.homes, h)
+		}
+	} else {
+		for i := 0; i < cfg.MCs; i++ {
+			mc := &memctrl.Ctrl{Eng: m.Eng, Net: m.Net, Node: mcNodes[i], P: cfg.P,
+				AllCaches: coreNodes, Oracle: m}
+			mc.Init()
+			m.Net.SetHandler(mcNodes[i], mc.Handle)
+			m.mcs = append(m.mcs, mc)
+		}
+	}
+
+	// Hypervisor relocation hook keeps the filter's maps current; on an
+	// untagged TLB a vCPU switch also flushes the new core's TLB.
+	m.Mapper.OnRelocate = func(v hv.VCPU, from, to int) {
+		m.Filter.HandleRelocate(v.VM, from, to)
+		if !cfg.TLB.Tagged {
+			m.cores[to].tlb.FlushAll()
+		}
+	}
+	// Selective-flush support (PolicyCounterFlush): the filter asks the
+	// departed core's controller to write the VM's blocks back.
+	m.Filter.OnFlushVM = func(coreIdx int, vm mem.VMID) {
+		m.cores[coreIdx].ctrl.FlushVM(vm)
+	}
+
+	m.setupVMs()
+	return m, nil
+}
+
+// ReplaceSources swaps every vCPU's reference source (e.g. with trace
+// replayers). sources must have one entry per vCPU, ordered VM-major.
+// Call before Run.
+func (m *Machine) ReplaceSources(sources []RefSource) error {
+	if len(sources) != len(m.vcpus) {
+		return fmt.Errorf("system: %d sources for %d vCPUs", len(sources), len(m.vcpus))
+	}
+	for i, v := range m.vcpus {
+		v.gen = sources[i]
+	}
+	return nil
+}
+
+// setupVMs builds address spaces, content sharing, generators, and the
+// initial quadrant placement of vCPUs.
+func (m *Machine) setupVMs() {
+	cfg := m.cfg
+	// dom0's working pages live in the shared hypervisor region already;
+	// no separate space needed.
+	for vm := 0; vm < cfg.VMs; vm++ {
+		prof := workload.MustGet(cfg.workloadFor(vm))
+		if cfg.NoHypervisor {
+			prof.XenFrac, prof.Dom0Frac = 0, 0
+		}
+		m.MM.NewSpace(mem.VMID(vm), prof.GuestPages(cfg.VCPUsPerVM))
+		layout := workload.NewLayout(prof, cfg.VCPUsPerVM)
+		if cfg.ContentSharing {
+			lo, hi := layout.ContentRange()
+			// Content IDs derive from the profile name so homogeneous VMs
+			// share all content pages and heterogeneous VMs share none.
+			base := mem.ContentID(hashName(prof.Name)) << 20
+			for gp := lo; gp < hi; gp++ {
+				m.MM.SetContent(mem.VMID(vm), mem.GuestPage(gp), base|mem.ContentID(gp+1))
+			}
+		}
+		for t := 0; t < cfg.VCPUsPerVM; t++ {
+			m.vcpus = append(m.vcpus, &vcpu{
+				id:   hv.VCPU{VM: mem.VMID(vm), Idx: t},
+				gen:  workload.NewGenerator(prof, cfg.VCPUsPerVM, t, cfg.Seed+uint64(vm)*1000),
+				left: cfg.RefsPerVCPU,
+			})
+		}
+	}
+	if cfg.ContentSharing {
+		m.MM.OnShareFlush = m.flushPageEverywhere
+		m.MM.MergeIdentical()
+		for vm := 0; vm < cfg.VMs; vm++ {
+			if friend, ok := m.MM.FriendOf(mem.VMID(vm)); ok {
+				m.Filter.SetFriend(mem.VMID(vm), friend)
+			}
+		}
+	}
+	m.placeVMs()
+}
+
+// placeVMs pins each VM's vCPUs onto a compact region of the mesh
+// (quadrants for the default 4 VMs x 4 vCPUs on 4x4), the ideal placement
+// of Section V.B.
+func (m *Machine) placeVMs() {
+	cfg := m.cfg
+	if !cfg.LinearPlacement && cfg.Cores == 16 && cfg.VMs <= 4 && cfg.VCPUsPerVM == 4 && cfg.Mesh.Width == 4 {
+		for _, v := range m.vcpus {
+			q := int(v.id.VM)
+			x0, y0 := 2*(q%2), 2*(q/2)
+			x, y := x0+v.id.Idx%2, y0+v.id.Idx/2
+			m.Mapper.Place(v.id, y*4+x)
+		}
+		return
+	}
+	c := 0
+	for _, v := range m.vcpus {
+		m.Mapper.Place(v.id, c)
+		c++
+	}
+}
+
+// flushPageEverywhere writes back every cached block of a page (invoked
+// when the hypervisor marks a page RO-shared so memory holds clean data).
+func (m *Machine) flushPageEverywhere(p mem.HostPage) {
+	for _, cn := range m.cores {
+		for range cn.l2.FlushPage(p) {
+			// Token state returns to memory implicitly at setup time (the
+			// caches are empty before Run); at runtime the writeback path
+			// would be used. Setup-only in this model.
+		}
+	}
+}
+
+// hashName gives a stable small hash for content-ID namespacing.
+func hashName(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h & 0xFFF
+}
+
+// ROProviderAmong implements token.Oracle for the memory controllers.
+func (m *Machine) ROProviderAmong(addr mem.BlockAddr, cores []mesh.NodeID) bool {
+	for _, n := range cores {
+		i, ok := m.node2i[n]
+		if !ok {
+			continue
+		}
+		if b := m.cores[i].l2.Lookup(addr); b != nil && b.Provider {
+			return true
+		}
+	}
+	return false
+}
+
+// onFill designates RO provider copies: the first copy of a content-shared
+// block brought into a VM becomes that VM's provider (Section VI.B).
+func (m *Machine) onFill(b *cache.Block, t *token.Txn) {
+	if t.Page != mem.PageROShared || t.Write {
+		return
+	}
+	for _, cn := range m.cores {
+		if ob := cn.l2.Lookup(b.Addr); ob != nil && ob != b && ob.Provider && ob.VM == t.VM {
+			return // this VM already has a provider
+		}
+	}
+	b.Provider = true
+}
+
+// Run executes the configured reference streams to completion and returns
+// the collected statistics.
+func (m *Machine) Run() *Stats {
+	cfg := m.cfg
+	if cfg.MigrationPeriodMs > 0 {
+		sh := &hv.Shuffler{
+			Eng: m.Eng, Map: m.Mapper,
+			Period: sim.Cycle(cfg.MigrationPeriodMs * float64(cfg.CyclesPerMs)),
+			Rng:    sim.NewRandTagged(cfg.Seed, "shuffle"),
+		}
+		sh.Start()
+		defer sh.Stop()
+	}
+	m.liveVCPUs = len(m.vcpus)
+	if cfg.WarmupRefs > 0 {
+		m.warmLeft = len(m.vcpus)
+	} else {
+		m.warmed = true
+	}
+	for i, v := range m.vcpus {
+		v := v
+		m.Eng.Schedule(sim.Cycle(i), func() { m.step(v) })
+	}
+	m.runUntilDone()
+	m.finalizeStats()
+	return &m.Stats
+}
+
+// runUntilDone drains events until every vCPU finished. The shuffler keeps
+// the queue non-empty, so Step until liveVCPUs reaches zero.
+func (m *Machine) runUntilDone() {
+	for m.liveVCPUs > 0 && m.Eng.Step() {
+	}
+	if m.liveVCPUs > 0 {
+		panic("system: event queue drained with unfinished vCPUs")
+	}
+}
+
+// step issues the next reference of v on its current core.
+func (m *Machine) step(v *vcpu) {
+	if v.left == 0 {
+		m.liveVCPUs--
+		if m.Stats.ExecCycles < uint64(m.Eng.Now()) {
+			m.Stats.ExecCycles = uint64(m.Eng.Now())
+		}
+		return
+	}
+	v.left--
+	v.executed++
+	if !m.warmed && v.executed == m.cfg.WarmupRefs {
+		m.warmLeft--
+		if m.warmLeft == 0 {
+			m.takeSnapshot()
+		}
+	}
+	m.issueRef(v, v.gen.Next())
+}
+
+// issueRef runs one reference on the vCPU's current core, parking it if
+// the core's coherence controller is still busy with the previous
+// occupant's miss (relocation hand-over). Delayed resumptions (TLB walks,
+// copy-on-write traps) re-enter here so occupancy is always re-checked —
+// the vCPU may have been relocated, or another vCPU may have claimed the
+// controller, while the delay elapsed.
+func (m *Machine) issueRef(v *vcpu, ref workload.Ref) {
+	cn := m.cores[m.Mapper.CoreOf(v.id)]
+	if cn.busy() {
+		prev := cn.waiter
+		cn.waiter = func() {
+			if prev != nil {
+				prev()
+			}
+			m.issueRef(v, ref)
+		}
+		return
+	}
+	m.execute(v, cn, ref)
+}
+
+// execute performs one memory reference on core cn.
+func (m *Machine) execute(v *vcpu, cn *coreNode, ref workload.Ref) {
+	cfg := m.cfg
+	st := &m.Stats
+
+	// Translate: context decides the address space and attribution.
+	var (
+		host  mem.HostPage
+		ptype mem.PageType
+		tagVM mem.VMID
+	)
+	var walk sim.Cycle
+	switch ref.Ctx {
+	case workload.CtxGuest:
+		tr, hit := cn.tlb.Lookup(v.id.VM, ref.Page)
+		if !hit {
+			tr = m.MM.Translate(v.id.VM, ref.Page)
+			cn.tlb.Insert(v.id.VM, ref.Page, tr)
+			walk = sim.Cycle(cfg.TLB.WalkLatency)
+		}
+		if ref.Write && tr.Type == mem.PageROShared {
+			// Store to a content-shared page: hypervisor COW, then a TLB
+			// shootdown on every core the VM may run on, then retry the
+			// access against the fresh private page.
+			m.MM.CopyOnWrite(v.id.VM, ref.Page)
+			st.Cows++
+			for _, c := range m.cores {
+				c.tlb.Shootdown(v.id.VM, ref.Page)
+			}
+			m.Eng.Schedule(cfg.CowLatency, func() { m.issueRef(v, ref) })
+			return
+		}
+		host, ptype, tagVM = tr.Host, tr.Type, v.id.VM
+	case workload.CtxXen:
+		host, ptype, tagVM = m.MM.HypervisorPage(ref.Hv), mem.PageRWShared, mem.Hypervisor
+	case workload.CtxDom0:
+		host, ptype, tagVM = m.MM.HypervisorPage(ref.Hv), mem.PageRWShared, m.dom0
+	}
+	addr := mem.BlockInPage(host, ref.Block)
+
+	if walk > 0 {
+		// Pay the page walk, then re-run the access with a warm TLB
+		// (re-entering through the occupancy check: the core may have been
+		// claimed, or the vCPU relocated, during the walk).
+		m.Eng.Schedule(walk, func() { m.issueRef(v, ref) })
+		return
+	}
+
+	st.recordL1Access(v.id.VM, ref.Ctx, ptype)
+
+	// L1: a read filter (write-through, no write-allocate). An L1 hit
+	// also refreshes the block's L2 recency so the inclusive L2 does not
+	// mistake L1-resident hot data for dead and evict it under streaming
+	// fills (hit-promotion hint).
+	if !ref.Write {
+		if b := cn.l1.Lookup(addr); b != nil {
+			cn.l1.Touch(b)
+			if lb := cn.l2.Lookup(addr); lb != nil {
+				cn.l2.Touch(lb)
+			}
+			m.finish(v, sim.Cycle(cfg.L1.HitLatency))
+			return
+		}
+	}
+
+	// L2.
+	st.L2Accesses++
+	b := cn.l2.Lookup(addr)
+	if b != nil && b.Tokens >= 1 && (!ref.Write || b.Tokens == cfg.P.TotalTokens) {
+		// Hit (reads need a token; writes need all — silent E->M upgrade).
+		if ref.Write {
+			b.Dirty = true
+		}
+		cn.l2.Touch(b)
+		m.l1Fill(cn, addr, tagVM, ref.Write)
+		m.finish(v, sim.Cycle(cfg.L2.HitLatency))
+		return
+	}
+
+	// L2 miss or upgrade: coherence transaction.
+	st.recordL2Miss(v.id.VM, ref.Ctx, ptype)
+	if m.DebugMissHook != nil && m.warmed && ref.Ctx == workload.CtxGuest {
+		m.DebugMissHook(int(ref.Page), ref.Write)
+	}
+	if ptype == mem.PageROShared {
+		m.classifyHolder(addr, v.id.VM)
+	}
+	start := m.Eng.Now()
+	cn.start(addr, tagVM, ptype, ref.Write, func() {
+		st.MissLatency.Observe(float64(m.Eng.Now() - start))
+		m.l1Fill(cn, addr, tagVM, ref.Write)
+		// Free a waiting relocated vCPU, then continue this stream.
+		if w := cn.waiter; w != nil {
+			cn.waiter = nil
+			m.Eng.Schedule(0, w)
+		}
+		m.finish(v, 0)
+	})
+}
+
+// l1Fill caches read data in the L1 (writes are no-allocate).
+func (m *Machine) l1Fill(cn *coreNode, addr mem.BlockAddr, vm mem.VMID, write bool) {
+	if write {
+		return
+	}
+	if cn.l1.Lookup(addr) == nil {
+		cn.l1.Insert(addr, vm)
+	}
+}
+
+// finish schedules the vCPU's next reference after latency + think time.
+func (m *Machine) finish(v *vcpu, latency sim.Cycle) {
+	m.Eng.Schedule(latency+m.cfg.ThinkCycles, func() { m.step(v) })
+}
+
+// L2 exposes core i's L2 cache (tests and invariant checks).
+func (m *Machine) L2(i int) *cache.Cache { return m.cores[i].l2 }
+
+// CheckFilterInvariant verifies virtual snooping's conservativeness: every
+// cached block of a VM-private page resides on a core that is in the VM's
+// vCPU map. It applies to the base and counter policies (counter-threshold
+// is deliberately speculative and relies on protocol retries instead).
+func (m *Machine) CheckFilterInvariant() error {
+	pol := m.cfg.Filter.Policy
+	if pol != core.PolicyBase && pol != core.PolicyCounter && pol != core.PolicyCounterFlush {
+		return nil
+	}
+	for i, cn := range m.cores {
+		var err error
+		cn.l2.ForEachValid(func(b *cache.Block) {
+			if err != nil || b.Tokens == 0 {
+				return
+			}
+			if int(b.VM) >= m.cfg.VMs {
+				return // hypervisor / dom0 blocks are broadcast anyway
+			}
+			if m.MM.TypeOf(b.Addr.PageOf()) != mem.PagePrivate {
+				return
+			}
+			if !m.Filter.Contains(b.VM, i) {
+				err = fmt.Errorf("core %d holds private block %d of VM %d but is not in its vCPU map (map=%v)",
+					i, b.Addr, b.VM, m.Filter.MapCores(b.VM))
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

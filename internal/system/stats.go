@@ -1,0 +1,288 @@
+package system
+
+import (
+	"vsnoop/internal/mem"
+	"vsnoop/internal/stats"
+	"vsnoop/internal/workload"
+)
+
+// Stats aggregates everything the paper's tables and figures need from one
+// run. Raw counters are filled during the run; finalizeStats folds in the
+// per-controller and network totals.
+type Stats struct {
+	cfg Config
+
+	// ExecCycles is the cycle at which the last vCPU finished (Figure 6).
+	ExecCycles uint64
+
+	// Snoop accounting (Figures 7, 8, 10; Table IV's companion metric).
+	SnoopsIssued uint64 // cores snooped per transaction, summed (incl requester)
+	SnoopLookups uint64 // external tag lookups performed at caches
+
+	// Network traffic (Table IV).
+	ByteHops uint64
+	Bytes    uint64
+	Messages uint64
+
+	// Protocol totals.
+	Transactions uint64
+	Retries      uint64
+	Persistent   uint64
+	Writebacks   uint64
+	DRAMReads    uint64
+	DRAMWrites   uint64
+
+	// L1 accesses and L2 misses, total and on content-shared pages
+	// (Table V), plus the L2 miss decomposition by context (Figure 1).
+	L1Accesses        uint64
+	L1AccessesContent uint64
+	L2Accesses        uint64 // core-side L2 lookups (writes + L1-miss reads)
+	L2Misses          uint64
+	L2MissesContent   uint64
+	L2MissesGuest     uint64
+	L2MissesXen       uint64
+	L2MissesDom0      uint64
+
+	// Data-holder decomposition for L2 misses on content-shared pages
+	// (Table VI): who could have supplied the block at miss time.
+	HolderMemory  uint64 // no cache held it
+	HolderIntraVM uint64 // a cache of the requesting VM held it
+	HolderFriend  uint64 // a cache of the friend VM held it (not intra)
+	HolderOther   uint64 // only caches of unrelated VMs held it
+
+	// TLB events (sharing-type lookups happen at translation time).
+	TLBHits       uint64
+	TLBMisses     uint64
+	TLBShootdowns uint64
+
+	// RegionScout counters (populated only with Config.UseRegionScout).
+	RegionNSRTHits   uint64
+	RegionBroadcasts uint64
+
+	// Directory counters (populated only with Config.Directory).
+	DirLookups     uint64
+	DirForwards    uint64
+	DirInvalidates uint64
+
+	// Hypervisor events.
+	Cows     uint64
+	MapSyncs uint64
+
+	// Relocation bookkeeping (Figure 9).
+	Relocations    uint64
+	RemovalPeriods *stats.CDF
+
+	MissLatency stats.Sample
+
+	warm    snapshot
+	hasWarm bool
+}
+
+// snapshot records every cumulative counter at the end of the warmup
+// phase; finalizeStats subtracts it so reported statistics cover only the
+// measured (post-warm) phase.
+type snapshot struct {
+	l1Acc, l1AccC, l2Acc                    uint64
+	l2Miss, l2MissC, l2G, l2X, l2D          uint64
+	hMem, hIntra, hFriend, hOther           uint64
+	snoops, lookups, txns, retries, persist uint64
+	writebacks, dramR, dramW                uint64
+	byteHops, bytes, messages, cows         uint64
+	cycle                                   uint64
+}
+
+func (s *Stats) init(cfg Config) { s.cfg = cfg }
+
+// takeSnapshot freezes the warmup-phase counters.
+func (m *Machine) takeSnapshot() {
+	m.warmed = true
+	s := &m.Stats
+	w := snapshot{
+		l1Acc: s.L1Accesses, l1AccC: s.L1AccessesContent, l2Acc: s.L2Accesses,
+		l2Miss: s.L2Misses, l2MissC: s.L2MissesContent,
+		l2G: s.L2MissesGuest, l2X: s.L2MissesXen, l2D: s.L2MissesDom0,
+		hMem: s.HolderMemory, hIntra: s.HolderIntraVM,
+		hFriend: s.HolderFriend, hOther: s.HolderOther,
+		byteHops: m.Net.ByteHops, bytes: m.Net.Bytes, messages: m.Net.Messages,
+		cows:  m.MM.CowCount,
+		cycle: uint64(m.Eng.Now()),
+	}
+	for _, cn := range m.cores {
+		if cn.dctrl != nil {
+			w.txns += cn.dctrl.Stats.Transactions
+			w.writebacks += cn.dctrl.Stats.Writebacks
+			continue
+		}
+		w.snoops += cn.ctrl.Stats.SnoopsIssued
+		w.lookups += cn.ctrl.Stats.SnoopLookups
+		w.txns += cn.ctrl.Stats.Transactions
+		w.retries += cn.ctrl.Stats.Retries
+		w.persist += cn.ctrl.Stats.Persistent
+		w.writebacks += cn.ctrl.Stats.Writebacks
+	}
+	for _, mc := range m.mcs {
+		w.dramR += mc.Stats.DRAMReads
+		w.dramW += mc.Stats.DRAMWrites
+	}
+	for _, h := range m.homes {
+		w.dramR += h.Stats.DRAMReads
+		w.dramW += h.Stats.DRAMWrites
+	}
+	s.warm = w
+	s.hasWarm = true
+}
+
+func (s *Stats) recordL1Access(vm mem.VMID, ctx workload.Ctx, pt mem.PageType) {
+	s.L1Accesses++
+	if pt == mem.PageROShared {
+		s.L1AccessesContent++
+	}
+}
+
+func (s *Stats) recordL2Miss(vm mem.VMID, ctx workload.Ctx, pt mem.PageType) {
+	s.L2Misses++
+	if pt == mem.PageROShared {
+		s.L2MissesContent++
+	}
+	switch ctx {
+	case workload.CtxGuest:
+		s.L2MissesGuest++
+	case workload.CtxXen:
+		s.L2MissesXen++
+	case workload.CtxDom0:
+		s.L2MissesDom0++
+	}
+}
+
+// classifyHolder implements the Table VI measurement: at an L2 miss on a
+// content-shared page, find the best possible data holder.
+func (m *Machine) classifyHolder(addr mem.BlockAddr, vm mem.VMID) {
+	st := &m.Stats
+	friend, hasFriend := m.MM.FriendOf(vm)
+	intra, fr, other := false, false, false
+	for _, cn := range m.cores {
+		b := cn.l2.Lookup(addr)
+		if b == nil || b.Tokens == 0 {
+			continue
+		}
+		switch {
+		case b.VM == vm:
+			intra = true
+		case hasFriend && b.VM == friend:
+			fr = true
+		default:
+			other = true
+		}
+	}
+	switch {
+	case intra:
+		st.HolderIntraVM++
+	case fr:
+		st.HolderFriend++
+	case other:
+		st.HolderOther++
+	default:
+		st.HolderMemory++
+	}
+}
+
+func (m *Machine) finalizeStats() {
+	s := &m.Stats
+	for _, cn := range m.cores {
+		if cn.dctrl != nil {
+			s.Transactions += cn.dctrl.Stats.Transactions
+			s.Writebacks += cn.dctrl.Stats.Writebacks
+			continue
+		}
+		s.SnoopsIssued += cn.ctrl.Stats.SnoopsIssued
+		s.SnoopLookups += cn.ctrl.Stats.SnoopLookups
+		s.Transactions += cn.ctrl.Stats.Transactions
+		s.Retries += cn.ctrl.Stats.Retries
+		s.Persistent += cn.ctrl.Stats.Persistent
+		s.Writebacks += cn.ctrl.Stats.Writebacks
+	}
+	for _, mc := range m.mcs {
+		s.DRAMReads += mc.Stats.DRAMReads
+		s.DRAMWrites += mc.Stats.DRAMWrites
+	}
+	for _, h := range m.homes {
+		s.DRAMReads += h.Stats.DRAMReads
+		s.DRAMWrites += h.Stats.DRAMWrites
+		s.DirLookups += h.Stats.Lookups
+		s.DirForwards += h.Stats.Forwards
+		s.DirInvalidates += h.Stats.Invalidates
+	}
+	for _, cn := range m.cores {
+		s.TLBHits += cn.tlb.Stats.Hits
+		s.TLBMisses += cn.tlb.Stats.Misses
+		s.TLBShootdowns += cn.tlb.Stats.Shootdowns
+	}
+	if m.rs != nil {
+		s.RegionNSRTHits = m.rs.Stats.NSRTHits
+		s.RegionBroadcasts = m.rs.Stats.Broadcasts
+	}
+	s.ByteHops = m.Net.ByteHops
+	s.Bytes = m.Net.Bytes
+	s.Messages = m.Net.Messages
+	s.Cows = m.MM.CowCount
+	s.MapSyncs = m.Filter.MapSyncs
+	s.Relocations = m.Mapper.Relocations
+	s.RemovalPeriods = &m.Filter.RemovalPeriods
+
+	if s.hasWarm {
+		w := s.warm
+		s.L1Accesses -= w.l1Acc
+		s.L1AccessesContent -= w.l1AccC
+		s.L2Accesses -= w.l2Acc
+		s.L2Misses -= w.l2Miss
+		s.L2MissesContent -= w.l2MissC
+		s.L2MissesGuest -= w.l2G
+		s.L2MissesXen -= w.l2X
+		s.L2MissesDom0 -= w.l2D
+		s.HolderMemory -= w.hMem
+		s.HolderIntraVM -= w.hIntra
+		s.HolderFriend -= w.hFriend
+		s.HolderOther -= w.hOther
+		s.SnoopsIssued -= w.snoops
+		s.SnoopLookups -= w.lookups
+		s.Transactions -= w.txns
+		s.Retries -= w.retries
+		s.Persistent -= w.persist
+		s.Writebacks -= w.writebacks
+		s.DRAMReads -= w.dramR
+		s.DRAMWrites -= w.dramW
+		s.ByteHops -= w.byteHops
+		s.Bytes -= w.bytes
+		s.Messages -= w.messages
+		s.Cows -= w.cows
+		if s.ExecCycles >= w.cycle {
+			s.ExecCycles -= w.cycle
+		}
+	}
+}
+
+// SnoopsPerTransaction returns the mean cores snooped per transaction.
+func (s *Stats) SnoopsPerTransaction() float64 {
+	if s.Transactions == 0 {
+		return 0
+	}
+	return float64(s.SnoopsIssued) / float64(s.Transactions)
+}
+
+// ContentAccessPct returns Table V column 1 (percent of L1 accesses to
+// content-shared pages).
+func (s *Stats) ContentAccessPct() float64 {
+	return stats.Normalize(float64(s.L1AccessesContent), float64(s.L1Accesses))
+}
+
+// ContentMissPct returns Table V column 2 (percent of L2 misses on
+// content-shared pages).
+func (s *Stats) ContentMissPct() float64 {
+	return stats.Normalize(float64(s.L2MissesContent), float64(s.L2Misses))
+}
+
+// HypervisorMissPct returns the Figure 1 quantity: percent of L2 misses by
+// the hypervisor plus dom0.
+func (s *Stats) HypervisorMissPct() float64 {
+	return stats.Normalize(float64(s.L2MissesXen+s.L2MissesDom0), float64(s.L2Misses))
+}

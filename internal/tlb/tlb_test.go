@@ -1,0 +1,158 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vsnoop/internal/mem"
+	"vsnoop/internal/sim"
+)
+
+func small() *TLB {
+	return New(Config{Entries: 16, Ways: 4, Tagged: true, WalkLatency: 30})
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Entries: 12, Ways: 4}).Validate(); err == nil {
+		t.Fatal("non-power-of-two sets accepted")
+	}
+	if err := (Config{Entries: 10, Ways: 4}).Validate(); err == nil {
+		t.Fatal("indivisible geometry accepted")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitMiss(t *testing.T) {
+	tl := small()
+	tr := mem.Translation{Host: 42, Type: mem.PageROShared}
+	if _, ok := tl.Lookup(1, 5); ok {
+		t.Fatal("hit in empty TLB")
+	}
+	tl.Insert(1, 5, tr)
+	got, ok := tl.Lookup(1, 5)
+	if !ok || got != tr {
+		t.Fatalf("lookup = %+v, %v", got, ok)
+	}
+	if tl.Stats.Hits != 1 || tl.Stats.Misses != 1 {
+		t.Fatalf("stats = %+v", tl.Stats)
+	}
+}
+
+func TestVMIsolation(t *testing.T) {
+	tl := small()
+	tl.Insert(1, 5, mem.Translation{Host: 42})
+	if _, ok := tl.Lookup(2, 5); ok {
+		t.Fatal("VM 2 hit VM 1's entry")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	tl := small() // 4 sets x 4 ways
+	// Fill one set (pages congruent mod 4).
+	for i := 0; i < 4; i++ {
+		tl.Insert(1, mem.GuestPage(i*4), mem.Translation{Host: mem.HostPage(i)})
+	}
+	tl.Lookup(1, 0) // refresh page 0
+	tl.Insert(1, 16*4, mem.Translation{Host: 99})
+	if _, ok := tl.Lookup(1, 0); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if _, ok := tl.Lookup(1, 4); ok {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestShootdown(t *testing.T) {
+	tl := small()
+	tl.Insert(1, 5, mem.Translation{Host: 42, Type: mem.PageROShared})
+	tl.Insert(2, 5, mem.Translation{Host: 42, Type: mem.PageROShared})
+	tl.Shootdown(1, 5)
+	if _, ok := tl.Lookup(1, 5); ok {
+		t.Fatal("entry survived shootdown")
+	}
+	if _, ok := tl.Lookup(2, 5); !ok {
+		t.Fatal("shootdown hit the wrong VM")
+	}
+	if tl.Stats.Shootdowns != 1 {
+		t.Fatalf("shootdowns = %d", tl.Stats.Shootdowns)
+	}
+}
+
+func TestFlushVM(t *testing.T) {
+	tl := small()
+	tl.Insert(1, 1, mem.Translation{})
+	tl.Insert(1, 2, mem.Translation{})
+	tl.Insert(2, 3, mem.Translation{})
+	tl.FlushVM(1)
+	if tl.CountValid() != 1 {
+		t.Fatalf("valid = %d, want 1", tl.CountValid())
+	}
+	if _, ok := tl.Lookup(2, 3); !ok {
+		t.Fatal("flush removed another VM's entry")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	tl := small()
+	for i := 0; i < 10; i++ {
+		tl.Insert(1, mem.GuestPage(i), mem.Translation{})
+	}
+	tl.FlushAll()
+	if tl.CountValid() != 0 {
+		t.Fatal("entries survived FlushAll")
+	}
+}
+
+func TestInsertRefreshesInPlace(t *testing.T) {
+	tl := small()
+	tl.Insert(1, 5, mem.Translation{Host: 1})
+	tl.Insert(1, 5, mem.Translation{Host: 2, Type: mem.PagePrivate})
+	got, ok := tl.Lookup(1, 5)
+	if !ok || got.Host != 2 {
+		t.Fatalf("refresh failed: %+v", got)
+	}
+	// Must not occupy two ways.
+	n := 0
+	for i := 0; i < 4; i++ {
+		if _, ok := tl.Lookup(1, 5); ok {
+			n++
+		}
+	}
+	if tl.CountValid() != 1 {
+		t.Fatalf("valid = %d after refresh", tl.CountValid())
+	}
+	_ = n
+}
+
+// Property: lookup after insert always hits until evicted or invalidated,
+// and the TLB never exceeds its capacity.
+func TestCapacityProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		tl := small()
+		for op := 0; op < 500; op++ {
+			vm := mem.VMID(r.Intn(3))
+			gp := mem.GuestPage(r.Intn(64))
+			switch r.Intn(4) {
+			case 0, 1:
+				tl.Insert(vm, gp, mem.Translation{Host: mem.HostPage(gp)})
+				if got, ok := tl.Lookup(vm, gp); !ok || got.Host != mem.HostPage(gp) {
+					return false
+				}
+			case 2:
+				tl.Shootdown(vm, gp)
+			case 3:
+				tl.Lookup(vm, gp)
+			}
+			if tl.CountValid() > 16 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,143 @@
+// Package token implements the Token Coherence protocol (Martin et al.,
+// ISCA 2003) that the paper uses as its base coherence protocol (Table II:
+// "Token Coherence, MOESI protocol"). Each block has a fixed number of
+// tokens; a reader needs at least one token plus valid data, a writer
+// needs all of them. Requests are *transient* (unordered, may fail and be
+// retried) with a *persistent* fallback that guarantees forward progress.
+//
+// Virtual snooping plugs in underneath as a Router that chooses which
+// cores a transient request is multicast to. The protocol's safe-retry
+// property is exactly what the paper's counter-threshold policy exploits:
+// the first attempts may be filtered too aggressively, and the later
+// attempts broadcast.
+package token
+
+import (
+	"vsnoop/internal/mem"
+	"vsnoop/internal/mesh"
+	"vsnoop/internal/sim"
+)
+
+// Kind enumerates coherence message types.
+type Kind uint8
+
+const (
+	// MsgGetS is a transient read request (needs data + >=1 token).
+	MsgGetS Kind = iota
+	// MsgGetX is a transient write request (needs data + all tokens).
+	MsgGetX
+	// MsgData carries data plus zero or more tokens to a requester.
+	MsgData
+	// MsgTokens carries tokens without data.
+	MsgTokens
+	// MsgWBData is an owner writeback (data + tokens) to memory.
+	MsgWBData
+	// MsgWBTokens is a token-only writeback to memory.
+	MsgWBTokens
+	// MsgPersistentReq asks the home memory controller to activate a
+	// persistent request for the sender.
+	MsgPersistentReq
+	// MsgPersistentActivate is broadcast by the home memory controller:
+	// every holder must forward its tokens to the persistent requester,
+	// and forward any tokens that arrive while the entry is active.
+	MsgPersistentActivate
+	// MsgPersistentRelease tells the home controller the persistent
+	// requester is satisfied.
+	MsgPersistentRelease
+	// MsgPersistentDeactivate is broadcast by the home controller to clear
+	// the persistent entry at every node.
+	MsgPersistentDeactivate
+)
+
+func (k Kind) String() string {
+	return [...]string{"GetS", "GetX", "Data", "Tokens", "WBData", "WBTokens",
+		"PReq", "PAct", "PRel", "PDeact"}[k]
+}
+
+// Msg is one coherence message. Control messages occupy CtrlBytes on the
+// network; messages carrying data occupy DataBytes.
+type Msg struct {
+	Kind   Kind
+	Addr   mem.BlockAddr
+	Src    mesh.NodeID // sender endpoint
+	Tokens int
+	Owner  bool // the owner token travels with this message
+	Dirty  bool // data is dirty relative to memory (travels with owner)
+	Data   bool // message carries the data block
+
+	// Request-only fields.
+	VM    mem.VMID     // requesting VM (for RO provider logic and stats)
+	Page  mem.PageType // sharing type from the requester's TLB
+	TID   uint64       // transaction id (matches responses to attempts)
+	Dests []mesh.NodeID
+	Write bool
+}
+
+// Params are the protocol timing/size constants.
+type Params struct {
+	TotalTokens int // tokens per block (cores + 1)
+
+	CtrlBytes int // control message size (8 B)
+	DataBytes int // data message size (64 B block + 8 B header)
+
+	L2Latency   sim.Cycle // lookup/response latency at a snooped cache
+	FillLatency sim.Cycle // requester restart after satisfaction
+	DRAMLatency sim.Cycle // memory access latency
+	MCLatency   sim.Cycle // memory controller token-only processing
+
+	TimeoutBase   sim.Cycle // transient-request timeout (first attempt)
+	TimeoutJitter int       // random extra cycles per retry (livelock break)
+
+	// RetriesBeforeBroadcast is the number of attempts issued with the
+	// Router's (possibly filtered) destination set before falling back to
+	// broadcast. The paper's counter-threshold policy uses 2.
+	RetriesBeforeBroadcast int
+	// RetriesBeforePersistent is the number of transient attempts before
+	// resorting to a persistent request.
+	RetriesBeforePersistent int
+}
+
+// DefaultParams returns the constants used throughout the evaluation
+// (Table II timing, 1 GHz clock).
+func DefaultParams(cores int) Params {
+	return Params{
+		TotalTokens:             cores + 1,
+		CtrlBytes:               8,
+		DataBytes:               72,
+		L2Latency:               10,
+		FillLatency:             2,
+		DRAMLatency:             200,
+		MCLatency:               10,
+		TimeoutBase:             400,
+		TimeoutJitter:           64,
+		RetriesBeforeBroadcast:  2,
+		RetriesBeforePersistent: 4,
+	}
+}
+
+// RouteInfo describes one transaction attempt to the snoop Router.
+type RouteInfo struct {
+	Addr      mem.BlockAddr
+	VM        mem.VMID
+	Page      mem.PageType
+	Requester int         // core index
+	CoreNode  mesh.NodeID // requester's network endpoint
+	Attempt   int         // 1-based
+	Write     bool
+}
+
+// Router chooses the remote cache controllers a transient request is sent
+// to. The home memory controller is always included implicitly. Virtual
+// snooping's destination-set policies implement this interface; the
+// baseline TokenB router returns every other core.
+type Router interface {
+	Route(info RouteInfo) []mesh.NodeID
+}
+
+// Oracle gives the memory controller the global visibility a real design
+// obtains with response aggregation: whether a designated RO-shared
+// provider copy exists among the snooped cores, so memory sends a
+// token-only message instead of a redundant data block (Section VI.B).
+type Oracle interface {
+	ROProviderAmong(addr mem.BlockAddr, cores []mesh.NodeID) bool
+}

@@ -1,0 +1,226 @@
+// Package trace records and replays per-vCPU memory-reference streams in a
+// compact binary format. The paper's own methodology is trace-driven
+// (Virtual-GEMS replays Simics execution traces into the GEMS timing
+// model); this package gives the reproduction the same workflow: capture a
+// workload's stream once, then replay it identically against different
+// coherence configurations, or hand-author traces for directed tests.
+//
+// Format: a 16-byte header ("VSNPTRC1", version, vCPU count) followed by
+// one varint-encoded record per reference:
+//
+//	record := ctx(1B) | flags(1B) | uvarint(page) | block(1B)
+//
+// Streams for different vCPUs are stored as independent sections so replay
+// does not need to interleave.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"vsnoop/internal/mem"
+	"vsnoop/internal/workload"
+)
+
+var magic = [8]byte{'V', 'S', 'N', 'P', 'T', 'R', 'C', '1'}
+
+const flagWrite = 1 << 0
+
+// Writer serializes reference streams.
+type Writer struct {
+	w       *bufio.Writer
+	started bool
+	nVCPUs  uint32
+	cur     int64 // records written in the current section
+}
+
+// NewWriter wraps w. Call Begin before the first section.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Begin writes the header for a trace holding nVCPUs sections.
+func (t *Writer) Begin(nVCPUs int) error {
+	if t.started {
+		return errors.New("trace: Begin called twice")
+	}
+	t.started = true
+	t.nVCPUs = uint32(nVCPUs)
+	if _, err := t.w.Write(magic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], 1) // version
+	binary.LittleEndian.PutUint32(hdr[4:], t.nVCPUs)
+	_, err := t.w.Write(hdr[:])
+	return err
+}
+
+// Section starts the records of one vCPU, announcing its length.
+func (t *Writer) Section(records int) error {
+	if !t.started {
+		return errors.New("trace: Section before Begin")
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(records))
+	_, err := t.w.Write(buf[:n])
+	t.cur = int64(records)
+	return err
+}
+
+// Write appends one reference to the current section.
+func (t *Writer) Write(r workload.Ref) error {
+	if t.cur <= 0 {
+		return errors.New("trace: section full or not started")
+	}
+	t.cur--
+	var buf [2 + binary.MaxVarintLen64 + 1]byte
+	buf[0] = byte(r.Ctx)
+	if r.Write {
+		buf[1] |= flagWrite
+	}
+	n := 2
+	page := uint64(r.Page)
+	if r.Ctx != workload.CtxGuest {
+		page = uint64(r.Hv)
+	}
+	n += binary.PutUvarint(buf[n:], page)
+	buf[n] = byte(r.Block)
+	n++
+	_, err := t.w.Write(buf[:n])
+	return err
+}
+
+// Flush completes the trace.
+func (t *Writer) Flush() error {
+	if t.cur != 0 {
+		return fmt.Errorf("trace: section has %d unwritten records", t.cur)
+	}
+	return t.w.Flush()
+}
+
+// Reader deserializes a trace.
+type Reader struct {
+	r      *bufio.Reader
+	nVCPUs int
+	left   int64
+}
+
+// NewReader validates the header and returns a reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if m != magic {
+		return nil, errors.New("trace: bad magic")
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:]); v != 1 {
+		return nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	return &Reader{r: br, nVCPUs: int(binary.LittleEndian.Uint32(hdr[4:]))}, nil
+}
+
+// VCPUs returns the number of sections in the trace.
+func (t *Reader) VCPUs() int { return t.nVCPUs }
+
+// NextSection returns the record count of the next vCPU section.
+func (t *Reader) NextSection() (int, error) {
+	if t.left != 0 {
+		return 0, fmt.Errorf("trace: %d records left in current section", t.left)
+	}
+	n, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return 0, err
+	}
+	t.left = int64(n)
+	return int(n), nil
+}
+
+// Read returns the next reference of the current section.
+func (t *Reader) Read() (workload.Ref, error) {
+	if t.left <= 0 {
+		return workload.Ref{}, io.EOF
+	}
+	t.left--
+	var hdr [2]byte
+	if _, err := io.ReadFull(t.r, hdr[:]); err != nil {
+		return workload.Ref{}, err
+	}
+	page, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return workload.Ref{}, err
+	}
+	block, err := t.r.ReadByte()
+	if err != nil {
+		return workload.Ref{}, err
+	}
+	ref := workload.Ref{
+		Ctx:   workload.Ctx(hdr[0]),
+		Write: hdr[1]&flagWrite != 0,
+		Block: int(block),
+	}
+	if ref.Ctx == workload.CtxGuest {
+		ref.Page = mem.GuestPage(page)
+	} else {
+		ref.Hv = int(page)
+	}
+	return ref, nil
+}
+
+// Capture runs a generator for n references and writes them as one
+// section.
+func Capture(t *Writer, g *workload.Generator, n int) error {
+	if err := t.Section(n); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		if err := t.Write(g.Next()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replayer feeds a recorded section as a reference source; it loops back
+// to the beginning if drained (so replays can be longer than captures).
+type Replayer struct {
+	refs []workload.Ref
+	pos  int
+}
+
+// NewReplayer materializes one section.
+func NewReplayer(t *Reader) (*Replayer, error) {
+	n, err := t.NextSection()
+	if err != nil {
+		return nil, err
+	}
+	refs := make([]workload.Ref, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := t.Read()
+		if err != nil {
+			return nil, err
+		}
+		refs = append(refs, r)
+	}
+	if len(refs) == 0 {
+		return nil, errors.New("trace: empty section")
+	}
+	return &Replayer{refs: refs}, nil
+}
+
+// Next returns the next recorded reference, wrapping at the end.
+func (r *Replayer) Next() workload.Ref {
+	ref := r.refs[r.pos]
+	r.pos = (r.pos + 1) % len(r.refs)
+	return ref
+}
+
+// Len returns the section length.
+func (r *Replayer) Len() int { return len(r.refs) }

@@ -1,0 +1,174 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"vsnoop/internal/workload"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Begin(2); err != nil {
+		t.Fatal(err)
+	}
+	p := workload.MustGet("fft")
+	g0 := workload.NewGenerator(p, 4, 0, 7)
+	g1 := workload.NewGenerator(p, 4, 1, 7)
+	const n = 5000
+	if err := Capture(w, g0, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := Capture(w, g1, n); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.VCPUs() != 2 {
+		t.Fatalf("vcpus = %d", r.VCPUs())
+	}
+	// Replay must equal regeneration with the same seeds.
+	g0 = workload.NewGenerator(p, 4, 0, 7)
+	g1 = workload.NewGenerator(p, 4, 1, 7)
+	for s, g := range []*workload.Generator{g0, g1} {
+		cnt, err := r.NextSection()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt != n {
+			t.Fatalf("section %d length %d", s, cnt)
+		}
+		for i := 0; i < n; i++ {
+			got, err := r.Read()
+			if err != nil {
+				t.Fatalf("section %d record %d: %v", s, i, err)
+			}
+			if want := g.Next(); got != want {
+				t.Fatalf("section %d record %d: %+v != %+v", s, i, got, want)
+			}
+		}
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Begin(1)
+	g := workload.NewGenerator(workload.MustGet("canneal"), 4, 0, 3)
+	const n = 10000
+	if err := Capture(w, g, n); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	perRecord := float64(buf.Len()) / n
+	if perRecord > 6 {
+		t.Fatalf("%.1f bytes/record, expected < 6 (varint pages)", perRecord)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTATRACE_______"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestTruncatedTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Begin(1)
+	g := workload.NewGenerator(workload.MustGet("fft"), 4, 0, 1)
+	Capture(w, g, 100)
+	w.Flush()
+	cut := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NextSection(); err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		if _, lastErr = r.Read(); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("truncated trace read fully")
+	}
+}
+
+func TestSectionOverflowRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Begin(1)
+	w.Section(1)
+	g := workload.NewGenerator(workload.MustGet("fft"), 4, 0, 1)
+	if err := w.Write(g.Next()); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(g.Next()); err == nil {
+		t.Fatal("overflowing a section did not error")
+	}
+}
+
+func TestFlushRejectsIncompleteSection(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Begin(1)
+	w.Section(5)
+	if err := w.Flush(); err == nil {
+		t.Fatal("flush of incomplete section did not error")
+	}
+}
+
+func TestReplayerWraps(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Begin(1)
+	g := workload.NewGenerator(workload.MustGet("fft"), 4, 0, 9)
+	Capture(w, g, 10)
+	w.Flush()
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	rp, err := NewReplayer(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Len() != 10 {
+		t.Fatalf("len = %d", rp.Len())
+	}
+	first := rp.Next()
+	for i := 0; i < 9; i++ {
+		rp.Next()
+	}
+	if rp.Next() != first {
+		t.Fatal("replayer did not wrap to the start")
+	}
+}
+
+func TestEOFAfterSection(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Begin(1)
+	g := workload.NewGenerator(workload.MustGet("fft"), 4, 0, 9)
+	Capture(w, g, 3)
+	w.Flush()
+	r, _ := NewReader(bytes.NewReader(buf.Bytes()))
+	r.NextSection()
+	for i := 0; i < 3; i++ {
+		if _, err := r.Read(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Read(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}

@@ -1,0 +1,197 @@
+package workload
+
+// The profile table. Every knob is calibrated against a number the paper
+// publishes for that benchmark:
+//
+//   - ContentFrac / ContentReuse / ContentPages target Table V (the share
+//     of L1 accesses on content-shared pages, and — via reuse, which
+//     decides whether content accesses hit in cache or stream — the share
+//     of L2 misses on them).
+//   - XenFrac / Dom0Frac target Figure 1 (hypervisor + dom0 share of L2
+//     misses; dom0 dominates for I/O-heavy workloads).
+//   - BurstMeanMS / BlockMeanMS target Table I (mean vCPU relocation
+//     periods under the credit scheduler; long bursts => rare relocation).
+//   - HotPages / ColdPages / fractions set the cache working set: small
+//     hot sets (blackscholes) never drain from an old core's cache, while
+//     streaming workloads (canneal) evict a departed VM's lines quickly
+//     (Figure 9).
+//
+// Hypervisor-context accesses go to a 512 KB RW-shared region, so they
+// miss the 256 KB L2 at a high rate; XenFrac/Dom0Frac are access-level
+// fractions chosen so the resulting *miss* decomposition approximates
+// Figure 1 (guest workloads miss at a few percent, the shared region at
+// tens of percent).
+var profiles = map[string]Profile{
+	// ---- SPLASH-2 (Table III inputs; used in Section V and VI) ----
+	"cholesky": {
+		Name: "cholesky", HotPages: 48, SharedPages: 96, ColdPages: 256,
+		HotFrac: 0.62, SharedFrac: 0.22, ColdFrac: 0.14, WriteFrac: 0.28,
+		ContentPages: 32, ContentFrac: 0.0145, ContentReuse: 0.30, ContentPartition: 0.5,
+		XenFrac: 0.009, Dom0Frac: 0.005,
+		BurstMeanMS: 45, BlockMeanMS: 2, WorkMS: 3000, SerialFrac: 0.15,
+	},
+	"fft": {
+		Name: "fft", HotPages: 12, SharedPages: 24, ColdPages: 384,
+		HotFrac: 0.83, HotSkew: 0.8, SharedFrac: 0.03, ColdFrac: 0.08, WriteFrac: 0.30,
+		ContentPages: 128, ContentFrac: 0.0543, ContentReuse: 0.02, ContentPartition: 0.9,
+		XenFrac: 0.007, Dom0Frac: 0.004,
+		BurstMeanMS: 40, BlockMeanMS: 2, WorkMS: 3000, SerialFrac: 0.15,
+	},
+	"lu": {
+		Name: "lu", HotPages: 12, SharedPages: 16, ColdPages: 224,
+		HotFrac: 0.966, HotSkew: 0.9, SharedFrac: 0.012, ColdFrac: 0.017, WriteFrac: 0.27,
+		ContentPages: 96, ContentFrac: 0.0043, ContentReuse: 0.02, ContentPartition: 0.6,
+		XenFrac: 0.006, Dom0Frac: 0.003,
+		BurstMeanMS: 50, BlockMeanMS: 2, WorkMS: 3000, SerialFrac: 0.12,
+	},
+	"ocean": {
+		Name: "ocean", HotPages: 52, SharedPages: 112, ColdPages: 320,
+		HotFrac: 0.60, SharedFrac: 0.22, ColdFrac: 0.176, WriteFrac: 0.31,
+		ContentPages: 24, ContentFrac: 0.004, ContentReuse: 0.45, ContentPartition: 0.5,
+		XenFrac: 0.008, Dom0Frac: 0.004,
+		BurstMeanMS: 42, BlockMeanMS: 2, WorkMS: 3000, SerialFrac: 0.2,
+	},
+	"radix": {
+		Name: "radix", HotPages: 44, SharedPages: 128, ColdPages: 288,
+		HotFrac: 0.47, SharedFrac: 0.19, ColdFrac: 0.135, WriteFrac: 0.33,
+		// Table V: radix reads content pages constantly (20.5% of L1
+		// accesses) but they stay cached (only ~1% of L2 misses).
+		ContentPages: 12, ContentFrac: 0.2047, ContentReuse: 0.993, ContentPartition: 0.5,
+		XenFrac: 0.0075, Dom0Frac: 0.0035,
+		BurstMeanMS: 44, BlockMeanMS: 2, WorkMS: 3000, SerialFrac: 0.18,
+	},
+
+	// ---- PARSEC (simsmall/simmedium; Sections III, V, VI) ----
+	"blackscholes": {
+		Name: "blackscholes", HotPages: 10, SharedPages: 16, ColdPages: 24,
+		HotFrac: 0.42, SharedFrac: 0.08, ColdFrac: 0.035, WriteFrac: 0.18,
+		// Table V: nearly half of all accesses hit content-shared pages
+		// (option tables / libraries), and they are 41% of L2 misses.
+		ContentPages: 176, ContentFrac: 0.4616, ContentReuse: 0.80, ContentPartition: 0.92,
+		XenFrac: 0.0037, Dom0Frac: 0.0013,
+		// Table I: 2880 ms under-, 91 ms overcommitted (compute-bound).
+		BurstMeanMS: 1500, BlockMeanMS: 1.5, WorkMS: 3000, SerialFrac: 0.02,
+	},
+	"bodytrack": {
+		Name: "bodytrack", HotPages: 40, SharedPages: 80, ColdPages: 192,
+		HotFrac: 0.62, SharedFrac: 0.22, ColdFrac: 0.12, WriteFrac: 0.26,
+		ContentPages: 32, ContentFrac: 0.03, ContentReuse: 0.3,
+		XenFrac: 0.0139, Dom0Frac: 0.0088,
+		// Table I: 26.1 ms / 1.2 ms — frame-parallel, blocks constantly.
+		BurstMeanMS: 18, BlockMeanMS: 2.5, WorkMS: 3000, SerialFrac: 0.3,
+	},
+	"canneal": {
+		Name: "canneal", HotPages: 10, SharedPages: 160, ColdPages: 512,
+		HotFrac: 0.56, SharedFrac: 0.07, ColdFrac: 0.11, WriteFrac: 0.24,
+		// Table V: 25% of accesses, 51% of misses (huge netlist streamed).
+		ContentPages: 256, ContentFrac: 0.2516, ContentReuse: 0.05, ContentPartition: 0.3,
+		XenFrac: 0.0122, Dom0Frac: 0.0060,
+		BurstMeanMS: 20, BlockMeanMS: 2.5, WorkMS: 3000, SerialFrac: 0.25,
+	},
+	"dedup": {
+		Name: "dedup", HotPages: 44, SharedPages: 96, ColdPages: 256,
+		HotFrac: 0.60, SharedFrac: 0.22, ColdFrac: 0.13, WriteFrac: 0.33,
+		ContentPages: 32, ContentFrac: 0.02, ContentReuse: 0.3,
+		// Figure 1: 11% hypervisor+dom0 (pipelined I/O through dom0).
+		XenFrac: 0.0290, Dom0Frac: 0.0371,
+		// Table I: 10.8 ms / 0.1 ms — the most migration-happy workload.
+		BurstMeanMS: 7, BlockMeanMS: 2, WorkMS: 3000, SerialFrac: 0.35,
+	},
+	"facesim": {
+		Name: "facesim", HotPages: 52, SharedPages: 112, ColdPages: 256,
+		HotFrac: 0.63, SharedFrac: 0.21, ColdFrac: 0.125, WriteFrac: 0.29,
+		ContentPages: 32, ContentFrac: 0.02, ContentReuse: 0.3,
+		XenFrac: 0.0156, Dom0Frac: 0.0079,
+		BurstMeanMS: 21, BlockMeanMS: 2, WorkMS: 3000, SerialFrac: 0.3,
+	},
+	"ferret": {
+		Name: "ferret", HotPages: 46, SharedPages: 120, ColdPages: 288,
+		HotFrac: 0.60, SharedFrac: 0.23, ColdFrac: 0.13, WriteFrac: 0.27,
+		ContentPages: 48, ContentFrac: 0.0364, ContentReuse: 0.32, ContentPartition: 0.5,
+		XenFrac: 0.0193, Dom0Frac: 0.0119,
+		// Table I: 375.9 ms / 31.5 ms — pipeline stages with long stints.
+		BurstMeanMS: 300, BlockMeanMS: 3, WorkMS: 3000, SerialFrac: 0.3,
+	},
+	"fluidanimate": {
+		Name: "fluidanimate", HotPages: 48, SharedPages: 104, ColdPages: 224,
+		HotFrac: 0.63, SharedFrac: 0.22, ColdFrac: 0.12, WriteFrac: 0.30,
+		ContentPages: 32, ContentFrac: 0.02, ContentReuse: 0.3,
+		XenFrac: 0.0157, Dom0Frac: 0.0074,
+		BurstMeanMS: 33, BlockMeanMS: 2, WorkMS: 3000, SerialFrac: 0.25,
+	},
+	"freqmine": {
+		Name: "freqmine", HotPages: 56, SharedPages: 128, ColdPages: 288,
+		HotFrac: 0.64, SharedFrac: 0.21, ColdFrac: 0.115, WriteFrac: 0.24,
+		ContentPages: 32, ContentFrac: 0.02, ContentReuse: 0.3,
+		// Figure 1: 8% hypervisor+dom0.
+		XenFrac: 0.0281, Dom0Frac: 0.0207,
+		// Table I: ~2 s in both systems — barely ever blocks.
+		BurstMeanMS: 1300, BlockMeanMS: 1, WorkMS: 3000, SerialFrac: 0.03,
+	},
+	"raytrace": {
+		Name: "raytrace", HotPages: 50, SharedPages: 128, ColdPages: 256,
+		HotFrac: 0.63, SharedFrac: 0.22, ColdFrac: 0.115, WriteFrac: 0.22,
+		ContentPages: 48, ContentFrac: 0.03, ContentReuse: 0.4,
+		// Figure 1: 7% hypervisor+dom0.
+		XenFrac: 0.0271, Dom0Frac: 0.0174,
+		// Table I: 528.8 ms / 23.6 ms.
+		BurstMeanMS: 320, BlockMeanMS: 2, WorkMS: 3000, SerialFrac: 0.08,
+	},
+	"streamcluster": {
+		Name: "streamcluster", HotPages: 42, SharedPages: 120, ColdPages: 320,
+		HotFrac: 0.58, SharedFrac: 0.23, ColdFrac: 0.16, WriteFrac: 0.25,
+		ContentPages: 32, ContentFrac: 0.02, ContentReuse: 0.3,
+		XenFrac: 0.0132, Dom0Frac: 0.0062,
+		BurstMeanMS: 25, BlockMeanMS: 2, WorkMS: 3000, SerialFrac: 0.35,
+	},
+	"swaptions": {
+		Name: "swaptions", HotPages: 14, SharedPages: 24, ColdPages: 48,
+		HotFrac: 0.70, SharedFrac: 0.12, ColdFrac: 0.05, WriteFrac: 0.20,
+		ContentPages: 24, ContentFrac: 0.02, ContentReuse: 0.5,
+		XenFrac: 0.0022, Dom0Frac: 0.0009,
+		// Table I: 2203 ms / 80 ms — compute-bound Monte Carlo.
+		BurstMeanMS: 1400, BlockMeanMS: 1.2, WorkMS: 3000, SerialFrac: 0.02,
+	},
+	"vips": {
+		Name: "vips", HotPages: 44, SharedPages: 96, ColdPages: 256,
+		HotFrac: 0.60, SharedFrac: 0.22, ColdFrac: 0.135, WriteFrac: 0.31,
+		ContentPages: 32, ContentFrac: 0.02, ContentReuse: 0.3,
+		XenFrac: 0.0180, Dom0Frac: 0.0105,
+		// Table I: 18.3 ms / 0.7 ms.
+		BurstMeanMS: 12, BlockMeanMS: 2, WorkMS: 3000, SerialFrac: 0.3,
+	},
+	"x264": {
+		Name: "x264", HotPages: 46, SharedPages: 112, ColdPages: 240,
+		HotFrac: 0.61, SharedFrac: 0.22, ColdFrac: 0.125, WriteFrac: 0.30,
+		ContentPages: 32, ContentFrac: 0.02, ContentReuse: 0.3,
+		XenFrac: 0.0193, Dom0Frac: 0.0105,
+		BurstMeanMS: 20, BlockMeanMS: 2.2, WorkMS: 3000, SerialFrac: 0.3,
+	},
+
+	// ---- Server workloads ----
+	"specjbb": {
+		Name: "specjbb", HotPages: 12, SharedPages: 64, ColdPages: 384,
+		HotFrac: 0.745, HotSkew: 0.7, SharedFrac: 0.05, ColdFrac: 0.105, WriteFrac: 0.30,
+		// Table V: 9.5% of accesses, 38% of misses (JIT code + class data
+		// shared across homogeneous JVMs, streamed heap beside it).
+		ContentPages: 224, ContentFrac: 0.0948, ContentReuse: 0.05, ContentPartition: 0.5,
+		XenFrac: 0.011, Dom0Frac: 0.008,
+		BurstMeanMS: 35, BlockMeanMS: 3, WorkMS: 3000, SerialFrac: 0.2,
+	},
+	"oltp": {
+		Name: "oltp", HotPages: 44, SharedPages: 176, ColdPages: 384,
+		HotFrac: 0.55, SharedFrac: 0.24, ColdFrac: 0.12, WriteFrac: 0.34,
+		ContentPages: 64, ContentFrac: 0.05, ContentReuse: 0.3,
+		// Figure 1: 15% hypervisor+dom0 (disk + network I/O via dom0).
+		XenFrac: 0.0410, Dom0Frac: 0.0667,
+		BurstMeanMS: 10, BlockMeanMS: 4, WorkMS: 3000, SerialFrac: 0.3,
+	},
+	"specweb": {
+		Name: "specweb", HotPages: 40, SharedPages: 160, ColdPages: 352,
+		HotFrac: 0.54, SharedFrac: 0.24, ColdFrac: 0.125, WriteFrac: 0.28,
+		ContentPages: 96, ContentFrac: 0.06, ContentReuse: 0.3,
+		// Figure 1: 19% hypervisor+dom0 (network-intensive banking mix).
+		XenFrac: 0.0493, Dom0Frac: 0.0887,
+		BurstMeanMS: 8, BlockMeanMS: 4, WorkMS: 3000, SerialFrac: 0.3,
+	},
+}

@@ -1,0 +1,263 @@
+// Package workload provides synthetic memory-reference generators that
+// stand in for the paper's benchmark binaries (SPLASH-2, PARSEC, SPECjbb,
+// OLTP, SPECweb run under Simics/Virtual-GEMS — see DESIGN.md for the
+// substitution argument).
+//
+// Each application is described by a Profile whose knobs are calibrated to
+// the paper's published per-benchmark statistics:
+//
+//   - hypervisor/dom0 activity fractions            (Figure 1)
+//   - scheduler burst/block rhythm                  (Table I, Figure 3)
+//   - content-shared access and miss fractions      (Table V)
+//   - working-set sizes / cache behaviour           (Figures 7-9)
+//
+// A Generator emits a deterministic pseudo-random reference stream for one
+// vCPU: guest accesses over a layout of per-thread hot pages, VM-shared
+// pages, content-shared pages and a cold streaming region, plus accesses
+// executed in hypervisor (Xen) or dom0 context.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"vsnoop/internal/mem"
+	"vsnoop/internal/sim"
+)
+
+// Ctx tells which execution context issued a reference; the paper's
+// Figure 1 decomposes L2 misses by exactly these three classes.
+type Ctx uint8
+
+const (
+	// CtxGuest is ordinary guest-VM execution.
+	CtxGuest Ctx = iota
+	// CtxXen is hypervisor execution (RW-shared hypervisor region).
+	CtxXen
+	// CtxDom0 is privileged-VM I/O handling on behalf of the guest.
+	CtxDom0
+)
+
+func (c Ctx) String() string { return [...]string{"guest", "xen", "dom0"}[c] }
+
+// Ref is one memory reference produced by a generator.
+type Ref struct {
+	Ctx   Ctx
+	Page  mem.GuestPage // guest page (CtxGuest)
+	Hv    int           // hypervisor-region page index (CtxXen/CtxDom0)
+	Block int           // block index within the page (0..63)
+	Write bool
+}
+
+// Profile describes one application's behaviour. All fields are
+// per-VM; page counts are 4 KB pages.
+type Profile struct {
+	Name string
+
+	// Guest memory layout and access mix.
+	HotPages    int     // per-thread high-locality working set
+	SharedPages int     // VM-wide shared region (intra-VM sharing)
+	ColdPages   int     // streaming region driving L2 misses
+	HotFrac     float64 // access fraction to the per-thread hot set
+	HotSkew     float64 // zipf skew of hot-set accesses (0 = default 0.5)
+	SharedFrac  float64 // access fraction to the VM-shared region
+	ColdFrac    float64 // access fraction to the streaming region
+	WriteFrac   float64 // store fraction of guest accesses
+
+	// Content-based sharing (Table V calibration).
+	ContentPages int     // pages identical across VMs of this app
+	ContentFrac  float64 // access fraction to content pages (Table V col 1)
+	ContentReuse float64 // probability a content access hits a hot subset
+	// (low reuse => content accesses stream and dominate L2 misses)
+	// ContentPartition is the probability a streaming content access stays
+	// inside the thread's own page partition (data-parallel scan). High
+	// partitioning means a VM's own caches rarely hold a missed content
+	// block while the friend VM's matching thread often does — the
+	// intra-VM/friend-VM asymmetry of Table VI.
+	ContentPartition float64
+
+	// Hypervisor interaction (Figure 1 calibration).
+	XenFrac  float64 // access fraction executed in hypervisor context
+	Dom0Frac float64 // access fraction executed by dom0
+
+	// Credit-scheduler behaviour (Table I / Figure 3 calibration).
+	BurstMeanMS float64
+	BlockMeanMS float64
+	WorkMS      float64
+	// SerialFrac is the VM's serial-phase fraction (Amdahl sections);
+	// see hv.TaskSpec.SerialFrac.
+	SerialFrac float64
+}
+
+// GuestPages returns the size of the guest-physical space the profile
+// needs for nThreads vCPUs.
+func (p Profile) GuestPages(nThreads int) int {
+	return p.ContentPages + nThreads*p.HotPages + p.SharedPages + p.ColdPages
+}
+
+// TaskSpec converts the profile's scheduler knobs for the hv package.
+func (p Profile) TaskSpec() (work, burst, block float64) {
+	return p.WorkMS, p.BurstMeanMS, p.BlockMeanMS
+}
+
+// Layout gives the page-range boundaries of a VM's guest space.
+type Layout struct {
+	nThreads    int
+	p           Profile
+	contentLo   int
+	hotLo       int
+	sharedLo    int
+	coldLo      int
+	totalGuest  int
+	contentHotN int
+}
+
+// NewLayout computes the guest-space layout for a profile.
+func NewLayout(p Profile, nThreads int) Layout {
+	l := Layout{nThreads: nThreads, p: p}
+	l.contentLo = 0
+	l.hotLo = l.contentLo + p.ContentPages
+	l.sharedLo = l.hotLo + nThreads*p.HotPages
+	l.coldLo = l.sharedLo + p.SharedPages
+	l.totalGuest = l.coldLo + p.ColdPages
+	l.contentHotN = p.ContentPages / 8
+	if l.contentHotN < 1 {
+		l.contentHotN = 1
+	}
+	if l.contentHotN > 8 {
+		l.contentHotN = 8 // the reused subset stays small (library/code pages)
+	}
+	return l
+}
+
+// partitionBlocks returns the number of blocks in one thread's content
+// page partition (pages p with p %% nThreads == thread).
+func (g *Generator) partitionBlocks() int {
+	return (g.p.ContentPages / g.l.nThreads) * mem.BlocksPerPage
+}
+
+// TotalPages returns the guest space size in pages.
+func (l Layout) TotalPages() int { return l.totalGuest }
+
+// ContentRange returns [lo, hi) of the content-shared page range.
+func (l Layout) ContentRange() (int, int) { return l.contentLo, l.contentLo + l.p.ContentPages }
+
+// Generator produces the reference stream of one vCPU.
+type Generator struct {
+	p      Profile
+	l      Layout
+	thread int
+	rng    *sim.Rand
+
+	coldPtr    int // streaming pointer (page*64+block) in cold region
+	contentPtr int // streaming pointer in content region (global scan)
+	partPtr    int // streaming pointer within the thread's page partition
+}
+
+// NewGenerator builds the generator for one vCPU (thread index within the
+// VM). seed should combine the run seed, VM and thread so streams are
+// independent and reproducible.
+func NewGenerator(p Profile, nThreads, thread int, seed uint64) *Generator {
+	g := &Generator{
+		p: p, l: NewLayout(p, nThreads), thread: thread,
+		rng: sim.NewRandTagged(seed, fmt.Sprintf("%s.t%d", p.Name, thread)),
+	}
+	// Desynchronize streaming pointers across threads.
+	if p.ColdPages > 0 {
+		g.coldPtr = g.rng.Intn(p.ColdPages * mem.BlocksPerPage)
+	}
+	if p.ContentPages > 0 {
+		g.contentPtr = g.rng.Intn(p.ContentPages * mem.BlocksPerPage)
+		if n := g.partitionBlocks(); n > 0 {
+			g.partPtr = g.rng.Intn(n)
+		}
+	}
+	return g
+}
+
+// Next returns the next reference in the stream.
+func (g *Generator) Next() Ref {
+	r := g.rng
+	// Context first: hypervisor and dom0 activity interleaves with guest
+	// execution.
+	u := r.Float64()
+	if u < g.p.XenFrac {
+		return Ref{Ctx: CtxXen, Hv: r.Intn(64), Block: r.Intn(mem.BlocksPerPage),
+			Write: r.Bool(0.3)}
+	}
+	if u < g.p.XenFrac+g.p.Dom0Frac {
+		// dom0 touches a separate slice of the shared region (I/O rings
+		// and its own buffers), offset so Xen and dom0 misses are
+		// distinguishable.
+		return Ref{Ctx: CtxDom0, Hv: 64 + r.Intn(64), Block: r.Intn(mem.BlocksPerPage),
+			Write: r.Bool(0.5)}
+	}
+
+	write := r.Bool(g.p.WriteFrac)
+	v := r.Float64()
+	switch {
+	case v < g.p.ContentFrac && g.p.ContentPages > 0:
+		// Content-shared access: reads only (stores would COW; the paper's
+		// detector shares read-only pages, and workloads treat them as
+		// code/read-mostly data).
+		var page, block int
+		switch {
+		case r.Bool(g.p.ContentReuse):
+			page = r.Zipf(g.l.contentHotN, 0.6)
+			block = r.Intn(mem.BlocksPerPage)
+		case g.partitionBlocks() > 0 && r.Bool(g.p.ContentPartition):
+			// Data-parallel scan over the thread's own page partition.
+			g.partPtr = (g.partPtr + 1) % g.partitionBlocks()
+			k := g.partPtr / mem.BlocksPerPage
+			page = g.thread + g.l.nThreads*k
+			block = g.partPtr % mem.BlocksPerPage
+		default:
+			g.contentPtr = (g.contentPtr + 1) % (g.p.ContentPages * mem.BlocksPerPage)
+			page = g.contentPtr / mem.BlocksPerPage
+			block = g.contentPtr % mem.BlocksPerPage
+		}
+		return Ref{Ctx: CtxGuest, Page: mem.GuestPage(g.l.contentLo + page), Block: block}
+	case v < g.p.ContentFrac+g.p.ColdFrac && g.p.ColdPages > 0:
+		g.coldPtr = (g.coldPtr + 1) % (g.p.ColdPages * mem.BlocksPerPage)
+		page := g.l.coldLo + g.coldPtr/mem.BlocksPerPage
+		return Ref{Ctx: CtxGuest, Page: mem.GuestPage(page),
+			Block: g.coldPtr % mem.BlocksPerPage, Write: write}
+	case v < g.p.ContentFrac+g.p.ColdFrac+g.p.SharedFrac && g.p.SharedPages > 0:
+		page := g.l.sharedLo + r.Intn(g.p.SharedPages)
+		return Ref{Ctx: CtxGuest, Page: mem.GuestPage(page),
+			Block: r.Intn(mem.BlocksPerPage), Write: write}
+	default:
+		skew := g.p.HotSkew
+		if skew == 0 {
+			skew = 0.5
+		}
+		page := g.l.hotLo + g.thread*g.p.HotPages + r.Zipf(g.p.HotPages, skew)
+		return Ref{Ctx: CtxGuest, Page: mem.GuestPage(page),
+			Block: r.Intn(mem.BlocksPerPage), Write: write}
+	}
+}
+
+// Names returns all profile names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(profiles))
+	for n := range profiles {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Get returns the profile named n; ok is false for unknown names.
+func Get(n string) (Profile, bool) {
+	p, ok := profiles[n]
+	return p, ok
+}
+
+// MustGet returns the profile named n or panics.
+func MustGet(n string) Profile {
+	p, ok := profiles[n]
+	if !ok {
+		panic(fmt.Sprintf("workload: unknown profile %q", n))
+	}
+	return p
+}

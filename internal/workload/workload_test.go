@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"testing"
+
+	"vsnoop/internal/mem"
+)
+
+func TestProfilesWellFormed(t *testing.T) {
+	names := Names()
+	if len(names) < 20 {
+		t.Fatalf("only %d profiles", len(names))
+	}
+	for _, n := range names {
+		p := MustGet(n)
+		if p.Name != n {
+			t.Errorf("%s: Name field = %q", n, p.Name)
+		}
+		sum := p.HotFrac + p.SharedFrac + p.ColdFrac + p.ContentFrac
+		if sum > 1.0001 {
+			t.Errorf("%s: access fractions sum to %v > 1", n, sum)
+		}
+		if p.XenFrac+p.Dom0Frac > 0.16 {
+			t.Errorf("%s: hypervisor access fraction %v implausibly high", n, p.XenFrac+p.Dom0Frac)
+		}
+		if p.HotPages <= 0 || p.WriteFrac < 0 || p.WriteFrac > 1 {
+			t.Errorf("%s: bad knobs %+v", n, p)
+		}
+		if p.BurstMeanMS <= 0 || p.WorkMS <= 0 {
+			t.Errorf("%s: bad scheduler knobs", n)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, ok := Get("nosuchapp"); ok {
+		t.Fatal("Get of unknown profile succeeded")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p := MustGet("fft")
+	a := NewGenerator(p, 4, 0, 99)
+	b := NewGenerator(p, 4, 0, 99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams diverged at ref %d", i)
+		}
+	}
+	c := NewGenerator(p, 4, 1, 99) // different thread: different stream
+	same := 0
+	a = NewGenerator(p, 4, 0, 99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 900 {
+		t.Fatalf("threads produce near-identical streams (%d/1000)", same)
+	}
+}
+
+func TestGeneratorRefsInBounds(t *testing.T) {
+	for _, n := range Names() {
+		p := MustGet(n)
+		l := NewLayout(p, 4)
+		g := NewGenerator(p, 4, 2, 7)
+		for i := 0; i < 5000; i++ {
+			r := g.Next()
+			if r.Block < 0 || r.Block >= mem.BlocksPerPage {
+				t.Fatalf("%s: block %d out of range", n, r.Block)
+			}
+			switch r.Ctx {
+			case CtxGuest:
+				if int(r.Page) < 0 || int(r.Page) >= l.TotalPages() {
+					t.Fatalf("%s: guest page %d outside %d-page space", n, r.Page, l.TotalPages())
+				}
+			case CtxXen, CtxDom0:
+				if r.Hv < 0 || r.Hv >= 128 {
+					t.Fatalf("%s: hv page index %d", n, r.Hv)
+				}
+			}
+		}
+	}
+}
+
+func TestContentAccessesAreReadOnly(t *testing.T) {
+	p := MustGet("blackscholes") // highest content fraction
+	l := NewLayout(p, 4)
+	lo, hi := l.ContentRange()
+	g := NewGenerator(p, 4, 0, 3)
+	for i := 0; i < 20000; i++ {
+		r := g.Next()
+		if r.Ctx == CtxGuest && int(r.Page) >= lo && int(r.Page) < hi && r.Write {
+			t.Fatal("write issued to a content-shared page")
+		}
+	}
+}
+
+func TestAccessMixMatchesProfile(t *testing.T) {
+	p := MustGet("canneal")
+	l := NewLayout(p, 4)
+	lo, hi := l.ContentRange()
+	g := NewGenerator(p, 4, 0, 11)
+	const n = 200000
+	content, xen, dom0 := 0, 0, 0
+	for i := 0; i < n; i++ {
+		r := g.Next()
+		switch r.Ctx {
+		case CtxXen:
+			xen++
+		case CtxDom0:
+			dom0++
+		case CtxGuest:
+			if int(r.Page) >= lo && int(r.Page) < hi {
+				content++
+			}
+		}
+	}
+	cf := float64(content) / n
+	if cf < p.ContentFrac*0.85 || cf > p.ContentFrac*1.15 {
+		t.Fatalf("content access fraction = %v, profile says %v", cf, p.ContentFrac)
+	}
+	xf := float64(xen) / n
+	if xf < p.XenFrac*0.5 || xf > p.XenFrac*2.0 {
+		t.Fatalf("xen fraction = %v, profile says %v", xf, p.XenFrac)
+	}
+	_ = dom0
+}
+
+func TestLayoutPartitionsDisjoint(t *testing.T) {
+	p := MustGet("fft")
+	l := NewLayout(p, 4)
+	if l.TotalPages() != p.GuestPages(4) {
+		t.Fatalf("layout total %d != GuestPages %d", l.TotalPages(), p.GuestPages(4))
+	}
+	lo, hi := l.ContentRange()
+	if lo != 0 || hi != p.ContentPages {
+		t.Fatalf("content range [%d,%d)", lo, hi)
+	}
+}
+
+func TestHotSetsPerThreadDisjoint(t *testing.T) {
+	p := MustGet("lu")
+	l := NewLayout(p, 4)
+	_, contentHi := l.ContentRange()
+	pagesSeen := make([]map[mem.GuestPage]bool, 4)
+	for th := 0; th < 4; th++ {
+		pagesSeen[th] = map[mem.GuestPage]bool{}
+		g := NewGenerator(p, 4, th, 5)
+		for i := 0; i < 30000; i++ {
+			r := g.Next()
+			// Hot region pages only (between content and shared regions).
+			hotLo := contentHi + th*p.HotPages
+			hotHi := hotLo + p.HotPages
+			if r.Ctx == CtxGuest && int(r.Page) >= contentHi && int(r.Page) < contentHi+4*p.HotPages {
+				if int(r.Page) < hotLo || int(r.Page) >= hotHi {
+					t.Fatalf("thread %d touched another thread's hot page %d", th, r.Page)
+				}
+				pagesSeen[th][r.Page] = true
+			}
+		}
+		if len(pagesSeen[th]) == 0 {
+			t.Fatalf("thread %d never touched its hot set", th)
+		}
+	}
+}

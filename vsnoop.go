@@ -1,0 +1,223 @@
+// Package vsnoop is the public API of the virtual-snooping simulator, a
+// from-scratch reproduction of "Virtual Snooping: Filtering Snoops in
+// Virtualized Multi-cores" (Kim, Kim, Huh — MICRO 2010).
+//
+// Virtual snooping confines coherence snoops to a VM's *virtual snoop
+// domain*: requests to VM-private pages are multicast only to the cores in
+// the VM's vCPU map instead of being broadcast to every core. This package
+// wraps the full simulation stack — a Token Coherence (MOESI) protocol on
+// a 2D-mesh NoC with private L1/L2 caches, a hypervisor model with vCPU
+// relocation and content-based page sharing, and calibrated synthetic
+// workloads — behind a small configuration surface.
+//
+// Quick start:
+//
+//	cfg := vsnoop.DefaultConfig()
+//	cfg.Workload = "fft"
+//	cfg.Policy = vsnoop.PolicyCounter
+//	cfg.MigrationPeriodMs = 5
+//	res, err := vsnoop.Run(cfg)
+//	if err != nil { ... }
+//	fmt.Printf("snoops/transaction: %.2f\n", res.SnoopsPerTransaction)
+//
+// For the paper's experiments (every table and figure), see the
+// vsnoop-report command and the internal/exp package; for lower-level
+// access (custom protocols, routers, workloads) use the internal packages
+// directly from within this module.
+package vsnoop
+
+import (
+	"fmt"
+
+	"vsnoop/internal/core"
+	"vsnoop/internal/system"
+	"vsnoop/internal/workload"
+)
+
+// Policy selects the snoop destination-set policy.
+type Policy int
+
+const (
+	// PolicyBroadcast is the TokenB baseline (snoop everyone).
+	PolicyBroadcast Policy = iota
+	// PolicyBase is virtual snooping without vCPU-map cleanup.
+	PolicyBase
+	// PolicyCounter removes cores via per-VM cache residence counters.
+	PolicyCounter
+	// PolicyCounterThreshold removes cores speculatively below a
+	// threshold, relying on Token Coherence's safe retries.
+	PolicyCounterThreshold
+	// PolicyCounterFlush removes cores by selectively flushing the VM's
+	// remaining blocks below the threshold (the paper's Section IV.B
+	// alternative; an extension beyond the evaluated policies).
+	PolicyCounterFlush
+)
+
+func (p Policy) String() string { return core.Policy(p).String() }
+
+// ContentPolicy selects how content-shared (RO-shared) pages are snooped.
+type ContentPolicy int
+
+const (
+	// ContentBroadcast snoops every core for content-shared pages.
+	ContentBroadcast ContentPolicy = iota
+	// ContentMemoryDirect sends content-shared reads to memory only.
+	ContentMemoryDirect
+	// ContentIntraVM snoops the requesting VM's map plus memory.
+	ContentIntraVM
+	// ContentFriendVM also snoops the friend VM sharing the most pages.
+	ContentFriendVM
+)
+
+func (p ContentPolicy) String() string { return core.ContentPolicy(p).String() }
+
+// Config describes one simulation. The zero value is not runnable; start
+// from DefaultConfig.
+type Config struct {
+	// Cores, VMs and VCPUsPerVM shape the machine (Table II defaults:
+	// 16 cores, 4 VMs x 4 vCPUs).
+	Cores      int
+	VMs        int
+	VCPUsPerVM int
+
+	// Workload names the application profile every VM runs (see
+	// Workloads() for the calibrated set), or set WorkloadPerVM for a
+	// heterogeneous mix.
+	Workload      string
+	WorkloadPerVM []string
+
+	Policy    Policy
+	Content   ContentPolicy
+	Threshold int // counter-threshold cutoff (default 10)
+
+	// RefsPerVCPU is the per-vCPU reference-stream length; WarmupRefs of
+	// them are excluded from statistics.
+	RefsPerVCPU int
+	WarmupRefs  int
+
+	// MigrationPeriodMs > 0 relocates vCPUs across VMs with that period
+	// (the paper's Section V.C methodology); 0 pins VMs ideally.
+	MigrationPeriodMs float64
+	CyclesPerMs       uint64
+
+	// ContentSharing enables the content-based page-sharing detector.
+	ContentSharing bool
+	// Hypervisor enables hypervisor/dom0 activity (Figure 1 methodology);
+	// the Section V/VI experiments run without it, like Virtual-GEMS.
+	Hypervisor bool
+
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's Table II system running fft with the
+// vsnoop-base policy, ideally pinned.
+func DefaultConfig() Config {
+	return Config{
+		Cores: 16, VMs: 4, VCPUsPerVM: 4,
+		Workload:    "fft",
+		Policy:      PolicyBase,
+		Content:     ContentBroadcast,
+		Threshold:   10,
+		RefsPerVCPU: 20000,
+		WarmupRefs:  5000,
+		CyclesPerMs: 100_000,
+		Seed:        1,
+	}
+}
+
+// Result carries the headline metrics of a run. All counters cover the
+// post-warmup measured phase.
+type Result struct {
+	// ExecCycles is the measured-phase execution time in cycles.
+	ExecCycles uint64
+	// SnoopsPerTransaction is the mean number of cores snooped per
+	// coherence transaction (16 = broadcast on the default machine;
+	// 4 = the ideal virtual-snooping multicast).
+	SnoopsPerTransaction float64
+	// TrafficByteHops is total network traffic in byte-hops.
+	TrafficByteHops uint64
+	// L2Misses and Transactions count coherence activity.
+	L2Misses     uint64
+	Transactions uint64
+	// Retries and Persistent count Token Coherence recovery actions.
+	Retries    uint64
+	Persistent uint64
+	// Relocations counts vCPU migrations during the run.
+	Relocations uint64
+	// HypervisorMissPct is the Figure 1 metric (0 without Hypervisor).
+	HypervisorMissPct float64
+	// ContentAccessPct / ContentMissPct are the Table V metrics.
+	ContentAccessPct float64
+	ContentMissPct   float64
+
+	// Stats exposes the full low-level statistics record.
+	Stats *system.Stats
+}
+
+// Run executes one simulation.
+func Run(cfg Config) (*Result, error) {
+	sc := system.DefaultConfig()
+	if cfg.Cores > 0 {
+		sc.Cores = cfg.Cores
+	}
+	if cfg.VMs > 0 {
+		sc.VMs = cfg.VMs
+	}
+	if cfg.VCPUsPerVM > 0 {
+		sc.VCPUsPerVM = cfg.VCPUsPerVM
+	}
+	switch {
+	case len(cfg.WorkloadPerVM) > 0:
+		sc.Workloads = cfg.WorkloadPerVM
+	case cfg.Workload != "":
+		sc.Workloads = []string{cfg.Workload}
+	default:
+		return nil, fmt.Errorf("vsnoop: no workload configured")
+	}
+	for _, w := range sc.Workloads {
+		if _, ok := workload.Get(w); !ok {
+			return nil, fmt.Errorf("vsnoop: unknown workload %q (see vsnoop.Workloads())", w)
+		}
+	}
+	sc.Filter = core.Config{
+		Policy:    core.Policy(cfg.Policy),
+		Content:   core.ContentPolicy(cfg.Content),
+		Threshold: cfg.Threshold,
+	}
+	if cfg.RefsPerVCPU > 0 {
+		sc.RefsPerVCPU = cfg.RefsPerVCPU
+	}
+	sc.WarmupRefs = cfg.WarmupRefs
+	sc.MigrationPeriodMs = cfg.MigrationPeriodMs
+	if cfg.CyclesPerMs > 0 {
+		sc.CyclesPerMs = cfg.CyclesPerMs
+	}
+	sc.ContentSharing = cfg.ContentSharing
+	sc.NoHypervisor = !cfg.Hypervisor
+	if cfg.Seed != 0 {
+		sc.Seed = cfg.Seed
+	}
+
+	m, err := system.New(sc)
+	if err != nil {
+		return nil, err
+	}
+	st := m.Run()
+	return &Result{
+		ExecCycles:           st.ExecCycles,
+		SnoopsPerTransaction: st.SnoopsPerTransaction(),
+		TrafficByteHops:      st.ByteHops,
+		L2Misses:             st.L2Misses,
+		Transactions:         st.Transactions,
+		Retries:              st.Retries,
+		Persistent:           st.Persistent,
+		Relocations:          st.Relocations,
+		HypervisorMissPct:    st.HypervisorMissPct(),
+		ContentAccessPct:     st.ContentAccessPct(),
+		ContentMissPct:       st.ContentMissPct(),
+		Stats:                st,
+	}, nil
+}
+
+// Workloads returns the names of all calibrated application profiles.
+func Workloads() []string { return workload.Names() }

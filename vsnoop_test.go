@@ -1,0 +1,103 @@
+package vsnoop
+
+import "testing"
+
+func quick(cfg Config) Config {
+	cfg.RefsPerVCPU = 2500
+	cfg.WarmupRefs = 500
+	return cfg
+}
+
+func TestRunBaselineVsVirtualSnooping(t *testing.T) {
+	base := quick(DefaultConfig())
+	base.Policy = PolicyBroadcast
+	bres, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vs := quick(DefaultConfig())
+	vs.Policy = PolicyBase
+	vres, err := Run(vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.SnoopsPerTransaction < 15.5 {
+		t.Fatalf("baseline snoops/txn = %.2f, want 16", bres.SnoopsPerTransaction)
+	}
+	ratio := vres.SnoopsPerTransaction / bres.SnoopsPerTransaction
+	if ratio > 0.3 {
+		t.Fatalf("virtual snooping ratio = %.2f, want ~0.25", ratio)
+	}
+	if vres.TrafficByteHops >= bres.TrafficByteHops {
+		t.Fatal("virtual snooping did not reduce traffic")
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workload = "doom"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunRejectsEmptyWorkload(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Workload = ""
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("empty workload accepted")
+	}
+}
+
+func TestWorkloadsListed(t *testing.T) {
+	ws := Workloads()
+	if len(ws) < 20 {
+		t.Fatalf("only %d workloads", len(ws))
+	}
+	seen := map[string]bool{}
+	for _, w := range ws {
+		seen[w] = true
+	}
+	for _, want := range []string{"fft", "blackscholes", "specjbb", "oltp"} {
+		if !seen[want] {
+			t.Fatalf("workload %q missing", want)
+		}
+	}
+}
+
+func TestRunWithMigrationAndCounter(t *testing.T) {
+	cfg := quick(DefaultConfig())
+	cfg.Policy = PolicyCounter
+	cfg.MigrationPeriodMs = 1
+	cfg.CyclesPerMs = 10_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relocations == 0 {
+		t.Fatal("no relocations despite migration period")
+	}
+}
+
+func TestRunContentSharing(t *testing.T) {
+	cfg := quick(DefaultConfig())
+	cfg.Workload = "canneal"
+	cfg.ContentSharing = true
+	cfg.Content = ContentMemoryDirect
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContentAccessPct <= 0 {
+		t.Fatal("content sharing produced no content accesses")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyCounter.String() != "counter" || PolicyBroadcast.String() != "tokenB" {
+		t.Fatal("policy names wrong")
+	}
+	if ContentMemoryDirect.String() != "memory-direct" {
+		t.Fatal("content policy names wrong")
+	}
+}

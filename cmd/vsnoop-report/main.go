@@ -20,7 +20,9 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "quick", "run scale: quick or full")
 	expFlag := flag.String("exp", "all", "experiment to run (comma-separated): all, fig1, fig2, fig3, table1, table4, fig6, fig78, fig9, table5, fig10, table6, ablations, energy, comparison")
+	maxSteps := flag.Uint64("max-steps", 0, "abort any single run after this many simulation events (0 = unbounded)")
 	flag.Parse()
+	exp.MaxSteps = *maxSteps
 
 	var sc exp.Scale
 	switch *scaleFlag {

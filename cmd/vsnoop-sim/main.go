@@ -11,9 +11,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"vsnoop"
+	"vsnoop/internal/report"
 )
 
 func main() {
@@ -31,6 +33,18 @@ func main() {
 	threshold := flag.Int("threshold", 10, "counter-threshold cutoff")
 	seed := flag.Uint64("seed", 1, "run seed")
 	list := flag.Bool("list", false, "list workloads and exit")
+	check := flag.Bool("check", false, "enable online coherence invariant checking")
+	maxSteps := flag.Uint64("max-steps", 0, "abort after this many simulation events (0 = unbounded)")
+	faultSeed := flag.Uint64("fault-seed", 0, "fault plan seed (mixed with -seed)")
+	faultDrop := flag.Float64("fault-drop", 0, "percent of transient requests destroyed (responses bounced home)")
+	faultDup := flag.Float64("fault-dup", 0, "percent of transient requests duplicated")
+	faultDelay := flag.Float64("fault-delay", 0, "percent of non-persistent messages delayed")
+	faultDelayMax := flag.Int("fault-delay-max", 0, "max extra delivery cycles for delayed messages (default 200)")
+	faultLinks := flag.Int("fault-links", 0, "number of degraded (slow) mesh links")
+	faultLinkFactor := flag.Int("fault-link-factor", 0, "serialization multiplier on degraded links (default 4)")
+	faultCorruptMap := flag.String("fault-corrupt-map", "", `corrupt a vCPU map register: "cycle,vm,core" (core -1 clears the map)`)
+	faultCorruptCtr := flag.String("fault-corrupt-counter", "", `corrupt a residence counter: "cycle,vm,core,delta"`)
+	faultStorm := flag.String("fault-storm", "", `migration storm: "cycle,swaps"`)
 	flag.Parse()
 
 	if *list {
@@ -85,6 +99,42 @@ func main() {
 	cfg.Hypervisor = *hypervisor
 	cfg.Threshold = *threshold
 	cfg.Seed = *seed
+	cfg.Checks = *check
+	cfg.MaxSteps = *maxSteps
+
+	plan := &vsnoop.FaultPlan{
+		Seed:              *faultSeed,
+		DropPct:           *faultDrop,
+		DupPct:            *faultDup,
+		DelayPct:          *faultDelay,
+		DelayMax:          *faultDelayMax,
+		DegradedLinks:     *faultLinks,
+		LinkDegradeFactor: *faultLinkFactor,
+	}
+	if *faultCorruptMap != "" {
+		v := parseEvent("fault-corrupt-map", *faultCorruptMap, 3)
+		plan.Events = append(plan.Events, vsnoop.FaultEvent{
+			AtCycle: uint64(v[0]), Kind: vsnoop.FaultCorruptMap, VM: int(v[1]), Core: int(v[2]),
+		})
+	}
+	if *faultCorruptCtr != "" {
+		v := parseEvent("fault-corrupt-counter", *faultCorruptCtr, 4)
+		plan.Events = append(plan.Events, vsnoop.FaultEvent{
+			AtCycle: uint64(v[0]), Kind: vsnoop.FaultCorruptCounter,
+			VM: int(v[1]), Core: int(v[2]), Count: int(v[3]),
+		})
+	}
+	if *faultStorm != "" {
+		v := parseEvent("fault-storm", *faultStorm, 2)
+		plan.Events = append(plan.Events, vsnoop.FaultEvent{
+			AtCycle: uint64(v[0]), Kind: vsnoop.FaultMigrationStorm, Count: int(v[1]),
+		})
+	}
+	faultActive := plan.DropPct > 0 || plan.DupPct > 0 || plan.DelayPct > 0 ||
+		plan.DegradedLinks > 0 || len(plan.Events) > 0
+	if faultActive {
+		cfg.Fault = plan
+	}
 
 	res, err := vsnoop.Run(cfg)
 	if err != nil {
@@ -117,4 +167,26 @@ func main() {
 			res.ContentAccessPct, res.ContentMissPct)
 		fmt.Printf("%-28s %d\n", "copy-on-writes", st.Cows)
 	}
+	if cfg.Fault != nil || cfg.Checks {
+		report.Robustness(os.Stdout, st)
+	}
+}
+
+// parseEvent parses an n-field comma-separated integer flag value.
+func parseEvent(name, s string, n int) []int64 {
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		fmt.Fprintf(os.Stderr, "-%s: want %d comma-separated integers, got %q\n", name, n, s)
+		os.Exit(2)
+	}
+	out := make([]int64, n)
+	for i, p := range parts {
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-%s: bad field %q: %v\n", name, p, err)
+			os.Exit(2)
+		}
+		out[i] = v
+	}
+	return out
 }

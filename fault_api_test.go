@@ -1,0 +1,123 @@
+package vsnoop
+
+import "testing"
+
+// TestFaultAcceptance is the headline robustness scenario: 5% message
+// drop plus one vCPU-map corruption mid-run. The run must complete with
+// every invariant intact, visibly exercise the retry and degradation
+// machinery, and stay deterministic.
+func TestFaultAcceptance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefsPerVCPU = 10_000
+	cfg.WarmupRefs = 1_000
+	cfg.Policy = PolicyBase
+	cfg.Fault = &FaultPlan{
+		DropPct: 5,
+		Events:  []FaultEvent{{AtCycle: 200_000, Kind: FaultCorruptMap, VM: 1, Core: 5}},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run failed under faults: %v", err)
+	}
+	if len(res.InvariantViolations) != 0 {
+		t.Fatalf("invariants violated: %v", res.InvariantViolations)
+	}
+	if res.InvariantChecks == 0 {
+		t.Fatal("checker never ran")
+	}
+	if res.FaultsDropped == 0 {
+		t.Fatal("5% drop plan destroyed nothing")
+	}
+	if res.Retries == 0 {
+		t.Fatal("message loss caused no retries — the recovery path never ran")
+	}
+	if res.Persistent == 0 {
+		t.Fatal("sustained loss never escalated to the persistent path")
+	}
+	if res.BroadcastFallbacks == 0 {
+		t.Fatal("degradation never fell back to broadcast")
+	}
+	if res.MapRebuilds == 0 {
+		t.Fatal("corrupted map never rebuilt")
+	}
+}
+
+// TestFaultDeterminism: identical (Config, FaultPlan, Seed) must give
+// bit-identical public results.
+func TestFaultDeterminism(t *testing.T) {
+	run := func() *Result {
+		cfg := quick(DefaultConfig())
+		cfg.Policy = PolicyCounter
+		cfg.MigrationPeriodMs = 2
+		cfg.Seed = 11
+		cfg.Fault = &FaultPlan{Seed: 3, DropPct: 3, DupPct: 1, DelayPct: 3,
+			Events: []FaultEvent{{AtCycle: 70_000, Kind: FaultMigrationStorm, Count: 4}}}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.ExecCycles != b.ExecCycles || a.SnoopsPerTransaction != b.SnoopsPerTransaction ||
+		a.TrafficByteHops != b.TrafficByteHops || a.Retries != b.Retries ||
+		a.FaultsDropped != b.FaultsDropped || a.FaultsDelayed != b.FaultsDelayed ||
+		a.BroadcastFallbacks != b.BroadcastFallbacks {
+		t.Fatalf("identical fault runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestFaultFreeParity: a nil fault plan must leave the simulation
+// byte-identical to the seed behaviour — the entire robustness subsystem
+// stays off the hot path.
+func TestFaultFreeParity(t *testing.T) {
+	run := func(checks bool) *Result {
+		cfg := quick(DefaultConfig())
+		cfg.Policy = PolicyBase
+		cfg.Checks = checks
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, checked := run(false), run(true)
+	if plain.ExecCycles != checked.ExecCycles ||
+		plain.SnoopsPerTransaction != checked.SnoopsPerTransaction ||
+		plain.TrafficByteHops != checked.TrafficByteHops {
+		t.Fatal("enabling observation-only checks changed results")
+	}
+	if plain.FaultsDropped != 0 || plain.BroadcastFallbacks != 0 || plain.MapRebuilds != 0 {
+		t.Fatalf("fault counters nonzero without a plan: %+v", plain)
+	}
+	// The paper's ideal pinned multicast: 4 cores per snoop domain.
+	if plain.SnoopsPerTransaction < 3.9 || plain.SnoopsPerTransaction > 4.1 {
+		t.Fatalf("fault-free snoops/transaction = %.2f, want ~4.00 (seed parity)",
+			plain.SnoopsPerTransaction)
+	}
+}
+
+// TestFaultPlanValidation: malformed plans are rejected up front.
+func TestFaultPlanValidation(t *testing.T) {
+	cfg := quick(DefaultConfig())
+	cfg.Fault = &FaultPlan{DropPct: 150}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("out-of-range probability accepted")
+	}
+	cfg = quick(DefaultConfig())
+	cfg.Fault = &FaultPlan{DropPct: 1,
+		Events: []FaultEvent{{Kind: FaultCorruptMap, VM: 99}}}
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("event targeting a nonexistent VM accepted")
+	}
+}
+
+// TestMaxStepsSurfacesError: exhausting the step bound is an error, not
+// a silent truncation.
+func TestMaxStepsSurfacesError(t *testing.T) {
+	cfg := quick(DefaultConfig())
+	cfg.MaxSteps = 5_000
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("step bound exhausted without error")
+	}
+}

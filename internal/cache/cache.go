@@ -124,6 +124,13 @@ type Cache struct {
 	// OnInsert, if set, fires when a block becomes valid (region-presence
 	// tracking for region-based snoop filters).
 	OnInsert func(a mem.BlockAddr, vm mem.VMID)
+
+	// OnResidenceUnderflow, if set, turns a residence-counter underflow from
+	// a fatal bug into a recoverable fault: the counter is clamped, all
+	// counters are recounted from the tags, and the hook fires so the filter
+	// can suspect the VM's map. When nil (fault-free runs) underflow remains
+	// a panic, because then it can only be a simulator bug.
+	OnResidenceUnderflow func(vm mem.VMID)
 }
 
 // New builds a cache from cfg; it panics on invalid geometry (a
@@ -194,7 +201,12 @@ func (c *Cache) decResident(vm mem.VMID) {
 	c.resident[vm]--
 	n := c.resident[vm]
 	if n < 0 {
-		panic(fmt.Sprintf("cache %s: residence counter for VM %d underflowed", c.cfg.Name, vm))
+		if c.OnResidenceUnderflow == nil {
+			panic(fmt.Sprintf("cache %s: residence counter for VM %d underflowed", c.cfg.Name, vm))
+		}
+		c.RecountResidence()
+		n = c.resident[vm]
+		c.OnResidenceUnderflow(vm)
 	}
 	if n == 0 && c.OnResidenceZero != nil {
 		c.OnResidenceZero(vm)
@@ -294,6 +306,24 @@ func (c *Cache) FlushVM(vm mem.VMID) []EvictInfo {
 		}
 	}
 	return out
+}
+
+// CorruptResidence adds delta to vm's residence counter without touching
+// any tags — a deliberate soft-error injection (internal/fault). A negative
+// delta models the bit-flip that later surfaces as an underflow; a positive
+// delta models a stuck count that delays map removal (performance-only, per
+// the paper's safety argument).
+func (c *Cache) CorruptResidence(vm mem.VMID, delta int) {
+	c.resident[vm] += delta
+}
+
+// RecountResidence rebuilds every residence counter from the cache tags,
+// the recovery action after a detected counter fault.
+func (c *Cache) RecountResidence() {
+	for vm := range c.resident {
+		c.resident[vm] = 0
+	}
+	c.ForEachValid(func(b *Block) { c.resident[b.VM]++ })
 }
 
 // ForEachValid calls fn for every valid block.

@@ -1,0 +1,332 @@
+// Package check implements online protocol invariant checking for the
+// simulated machine. A Checker wakes up periodically during a run and
+// evaluates registered invariants over global state — something real
+// hardware cannot do, and exactly what a simulator-based safety argument
+// needs: the paper's claim that a wrong vCPU map "only costs performance"
+// is an emergent property of Token Coherence, and these checks turn it
+// from an argument into a machine-verified property under fault injection.
+//
+// Three invariant families are provided:
+//
+//   - Token conservation: for every block, tokens held in caches + tokens
+//     at the home memory controller + tokens in flight equals the fixed
+//     total, and exactly one owner token exists. The in-flight term comes
+//     from a Ledger fed by token.Observer hooks at every controller (the
+//     controllers decrement state before their response is scheduled, so a
+//     network-level observer would see phantom violations).
+//   - Single writer / multiple readers: a cache holding all tokens (a
+//     writer) is the only cache holding any; at most one cache holds the
+//     owner token.
+//   - Transaction completion: no coherence transaction stays outstanding
+//     longer than an age bound — the liveness half of the safety argument
+//     (every transaction must eventually obtain data and tokens even when
+//     its initial destination set was wrong).
+//
+// Checks are observation-only (they use non-allocating accessors) and run
+// as ordinary engine events, so enabling them never changes simulated
+// behaviour — only whether violations are detected.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"vsnoop/internal/cache"
+	"vsnoop/internal/mem"
+	"vsnoop/internal/memctrl"
+	"vsnoop/internal/sim"
+	"vsnoop/internal/token"
+)
+
+// Ledger tracks tokens in flight between controllers. It implements
+// token.Observer: Depart adds a message's tokens to the in-flight account,
+// Arrive removes them. Controllers that merely relay a message (persistent
+// forwarding) call neither, so relayed tokens stay in flight.
+type Ledger struct {
+	inflight map[mem.BlockAddr]*flight
+}
+
+type flight struct {
+	tokens int
+	owners int
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{inflight: make(map[mem.BlockAddr]*flight)}
+}
+
+// Depart implements token.Observer.
+func (l *Ledger) Depart(addr mem.BlockAddr, tokens int, owner bool) {
+	f := l.inflight[addr]
+	if f == nil {
+		f = &flight{}
+		l.inflight[addr] = f
+	}
+	f.tokens += tokens
+	if owner {
+		f.owners++
+	}
+}
+
+// Arrive implements token.Observer.
+func (l *Ledger) Arrive(addr mem.BlockAddr, tokens int, owner bool) {
+	f := l.inflight[addr]
+	if f == nil {
+		f = &flight{}
+		l.inflight[addr] = f
+	}
+	f.tokens -= tokens
+	if owner {
+		f.owners--
+	}
+	if f.tokens == 0 && f.owners == 0 {
+		delete(l.inflight, addr)
+	}
+}
+
+// Inflight returns the in-flight token and owner counts for a block.
+func (l *Ledger) Inflight(addr mem.BlockAddr) (tokens, owners int) {
+	if f := l.inflight[addr]; f != nil {
+		return f.tokens, f.owners
+	}
+	return 0, 0
+}
+
+// Invariant is one named global predicate; Check returns violation
+// descriptions (empty when the invariant holds).
+type Invariant struct {
+	Name  string
+	Check func() []string
+}
+
+// Checker evaluates registered invariants periodically on the engine.
+type Checker struct {
+	Eng    *sim.Engine
+	Period sim.Cycle // check interval (cycles)
+	// MaxViolations caps the recorded list (0 = 16); checking continues so
+	// Checks keeps counting, but further text is suppressed.
+	MaxViolations int
+
+	// Checks counts invariant evaluations (invariants x wakeups + final).
+	Checks uint64
+	// Violations holds the recorded violation descriptions, in detection
+	// order (deterministic: invariants run in registration order and each
+	// reports in sorted address / core order).
+	Violations []string
+
+	invs    []Invariant
+	stopped bool
+	started bool
+}
+
+// Register adds an invariant; call before Start.
+func (c *Checker) Register(name string, fn func() []string) {
+	c.invs = append(c.invs, Invariant{Name: name, Check: fn})
+}
+
+// Add registers a prebuilt Invariant (the constructor form of Register).
+func (c *Checker) Add(inv Invariant) { c.invs = append(c.invs, inv) }
+
+// Start schedules the periodic evaluation. Safe to call once.
+func (c *Checker) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	if c.Period <= 0 {
+		c.Period = 5000
+	}
+	c.tick()
+}
+
+// Stop halts future wakeups (pending ones become no-ops).
+func (c *Checker) Stop() { c.stopped = true }
+
+func (c *Checker) tick() {
+	c.Eng.Schedule(c.Period, func() {
+		if c.stopped {
+			return
+		}
+		c.CheckNow()
+		c.tick()
+	})
+}
+
+// CheckNow evaluates every invariant immediately.
+func (c *Checker) CheckNow() {
+	for _, inv := range c.invs {
+		c.Checks++
+		for _, v := range inv.Check() {
+			c.record(inv.Name, v)
+		}
+	}
+}
+
+func (c *Checker) record(name, v string) {
+	max := c.MaxViolations
+	if max <= 0 {
+		max = 16
+	}
+	if len(c.Violations) < max {
+		c.Violations = append(c.Violations,
+			fmt.Sprintf("[%d] %s: %s", c.Eng.Now(), name, v))
+	}
+}
+
+// holderSum is the per-block cache-side accumulation used by the state
+// invariants.
+type holderSum struct {
+	tokens  int
+	owners  int
+	maxTok  int   // largest single-cache token count
+	holders []int // cores holding >= 1 token
+}
+
+// sumCaches accumulates token state per block across the private L2s.
+// Iteration is core-index order, so reports are deterministic.
+func sumCaches(l2s []*cache.Cache) map[mem.BlockAddr]*holderSum {
+	acc := make(map[mem.BlockAddr]*holderSum)
+	for i, l2 := range l2s {
+		if l2 == nil {
+			continue
+		}
+		i := i
+		l2.ForEachValid(func(b *cache.Block) {
+			if b.Tokens == 0 && !b.Owner {
+				return
+			}
+			h := acc[b.Addr]
+			if h == nil {
+				h = &holderSum{}
+				acc[b.Addr] = h
+			}
+			h.tokens += b.Tokens
+			if b.Owner {
+				h.owners++
+			}
+			if b.Tokens > h.maxTok {
+				h.maxTok = b.Tokens
+			}
+			if b.Tokens > 0 {
+				h.holders = append(h.holders, i)
+			}
+		})
+	}
+	return acc
+}
+
+func sortedAddrs(m map[mem.BlockAddr]bool) []mem.BlockAddr {
+	out := make([]mem.BlockAddr, 0, len(m))
+	for a := range m {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TokenConservation builds the conservation invariant: every block's
+// tokens across caches, its home memory controller, and the in-flight
+// ledger sum to total, with exactly one owner token. home interleaving is
+// addr mod len(mcs), matching the cache controllers.
+func TokenConservation(total int, l2s []*cache.Cache, mcs []*memctrl.Ctrl, led *Ledger) Invariant {
+	check := func() []string {
+		acc := sumCaches(l2s)
+		universe := make(map[mem.BlockAddr]bool, len(acc))
+		for a := range acc {
+			universe[a] = true
+		}
+		for _, mc := range mcs {
+			mc.ForEachLine(func(a mem.BlockAddr, _ int, _ bool) { universe[a] = true })
+		}
+		for a := range led.inflight {
+			universe[a] = true
+		}
+		var out []string
+		for _, a := range sortedAddrs(universe) {
+			cTok, cOwn := 0, 0
+			if h := acc[a]; h != nil {
+				cTok, cOwn = h.tokens, h.owners
+			}
+			home := mcs[uint64(a)%uint64(len(mcs))]
+			mTok, mOwn, present := home.Peek(a)
+			if !present {
+				// Reset state: memory holds everything.
+				mTok, mOwn = total, true
+			}
+			fTok, fOwn := led.Inflight(a)
+			sum := cTok + mTok + fTok
+			owners := cOwn + fOwn
+			if mOwn {
+				owners++
+			}
+			if sum != total {
+				out = append(out, fmt.Sprintf(
+					"block %d: %d tokens (caches %d + memory %d + inflight %d), want %d",
+					a, sum, cTok, mTok, fTok, total))
+			}
+			if owners != 1 {
+				out = append(out, fmt.Sprintf("block %d: %d owner tokens, want 1", a, owners))
+			}
+		}
+		return out
+	}
+	return Invariant{Name: "token-conservation", Check: check}
+}
+
+// SingleWriter builds the coherence-state invariant: a cache holding all
+// tokens of a block (write permission) must be its only cache holder, and
+// at most one cache holds the owner token. Unlike conservation this reads
+// only cache state, so it cross-checks the ledger-based invariant.
+func SingleWriter(total int, l2s []*cache.Cache) Invariant {
+	check := func() []string {
+		acc := sumCaches(l2s)
+		universe := make(map[mem.BlockAddr]bool, len(acc))
+		for a := range acc {
+			universe[a] = true
+		}
+		var out []string
+		for _, a := range sortedAddrs(universe) {
+			h := acc[a]
+			if h.tokens > total {
+				out = append(out, fmt.Sprintf("block %d: caches hold %d tokens > total %d",
+					a, h.tokens, total))
+			}
+			if h.owners > 1 {
+				out = append(out, fmt.Sprintf("block %d: %d caches hold the owner token", a, h.owners))
+			}
+			if h.maxTok == total && len(h.holders) > 1 {
+				out = append(out, fmt.Sprintf(
+					"block %d: a writer coexists with other holders (cores %v)", a, h.holders))
+			}
+		}
+		return out
+	}
+	return Invariant{Name: "single-writer", Check: check}
+}
+
+// TxnCompletion builds the liveness invariant: no controller's outstanding
+// transaction may be older than maxAge cycles (snoop-domain safety — a
+// wrong destination set must still complete via retries or the persistent
+// path, only slower).
+func TxnCompletion(eng *sim.Engine, ctrls []*token.CacheCtrl, maxAge sim.Cycle) Invariant {
+	check := func() []string {
+		var out []string
+		for i, ctrl := range ctrls {
+			if ctrl == nil {
+				continue
+			}
+			addr, issued, attempt, ok := ctrl.Outstanding()
+			if !ok {
+				continue
+			}
+			if age := eng.Now() - issued; age > maxAge {
+				out = append(out, fmt.Sprintf(
+					"core %d: transaction on block %d outstanding %d cycles (attempt %d, limit %d)",
+					i, addr, age, attempt, maxAge))
+			}
+		}
+		return out
+	}
+	return Invariant{Name: "txn-completion", Check: check}
+}

@@ -119,7 +119,37 @@ type Filter struct {
 
 	// Flushes counts selective-flush events.
 	Flushes uint64
+
+	// DegradationEnabled gates graceful map degradation. The system layer
+	// sets it only when a fault plan is active, so fault-free runs take
+	// exactly the pre-degradation code paths (byte-identical results).
+	DegradationEnabled bool
+
+	// suspects holds per-VM degradation state while a map is suspected
+	// stale (injected corruption, counter underflow, or a transaction that
+	// escalated past a filtering threshold).
+	suspects map[mem.VMID]*suspicion
+
+	// Degradation statistics (whole-run; see system.Stats).
+	FallbackCounterAug uint64 // private routes served by the counter-augmented map
+	FallbackBroadcast  uint64 // private routes served by full broadcast
+	MapRebuilds        uint64 // maps reconstructed from running + resident state
+	Underflows         uint64 // residence-counter underflows recovered
 }
+
+// suspicion is one VM's degradation state: at level 1 private requests use
+// the counter-augmented map (map plus every core still holding the VM's
+// data); at level 2 they broadcast and the map is rebuilt. Suspicion decays
+// after suspectWindow cycles without a new trigger — the safety argument
+// (paper Section IV) makes the map advisory, so decay can never break
+// correctness, only restore filtering efficiency.
+type suspicion struct {
+	level int
+	until sim.Cycle
+}
+
+// suspectWindow is how long a suspicion lasts past its latest trigger.
+const suspectWindow sim.Cycle = 50_000
 
 // NewFilter builds a filter over the given cores. caches may be nil when
 // the counter policies are unused (e.g. the broadcast baseline).
@@ -136,6 +166,7 @@ func NewFilter(eng *sim.Engine, cfg Config, coreNodes []mesh.NodeID, caches []*c
 		caches:         caches,
 		friends:        make(map[mem.VMID]mem.VMID),
 		pendingRemoval: make(map[mem.VMID]map[int]sim.Cycle),
+		suspects:       make(map[mem.VMID]*suspicion),
 	}
 	// Wire residence-counter callbacks.
 	switch cfg.Policy {
@@ -288,6 +319,90 @@ func (f *Filter) remove(vm mem.VMID, core int) {
 	}
 }
 
+// NoteEscalation implements token.EscalationSink: a transaction of vm
+// escalated to broadcast (level 1) or a persistent request (level 2), which
+// under fault load usually means the VM's map excluded a token holder.
+func (f *Filter) NoteEscalation(vm mem.VMID, level int) {
+	if !f.DegradationEnabled {
+		return
+	}
+	f.SuspectVM(vm, level)
+}
+
+// NoteUnderflow records a recovered residence-counter underflow for vm;
+// the counters can no longer be trusted, so the map is rebuilt and the VM
+// broadcasts until suspicion decays.
+func (f *Filter) NoteUnderflow(vm mem.VMID) {
+	if !f.DegradationEnabled {
+		return
+	}
+	f.Underflows++
+	f.SuspectVM(vm, 2)
+}
+
+// SuspectVM marks vm's map suspect at the given degradation level (1 =
+// counter-augmented map, 2 = broadcast + map rebuild). A repeated trigger
+// extends the window; a higher level upgrades it.
+func (f *Filter) SuspectVM(vm mem.VMID, level int) {
+	if level < 1 {
+		level = 1
+	}
+	if level > 2 {
+		level = 2
+	}
+	s := f.suspects[vm]
+	if s == nil {
+		s = &suspicion{}
+		f.suspects[vm] = s
+	}
+	if level > s.level {
+		s.level = level
+	}
+	s.until = f.eng.Now() + suspectWindow
+	if s.level >= 2 {
+		f.rebuildMap(vm)
+	}
+}
+
+// SuspicionLevel returns vm's current degradation level (0 = none).
+func (f *Filter) SuspicionLevel(vm mem.VMID) int {
+	s := f.suspects[vm]
+	if s == nil || f.eng.Now() > s.until {
+		return 0
+	}
+	return s.level
+}
+
+// CorruptMap overwrites vm's vCPU map register without telling anyone — a
+// deliberate fault injection (internal/fault). core >= 0 leaves the map
+// holding only that core (a stale single entry); core < 0 clears it
+// entirely. MapSyncs is not incremented: hardware does not see soft errors.
+func (f *Filter) CorruptMap(vm mem.VMID, core int) {
+	m := make(map[int]bool)
+	if core >= 0 && core < len(f.coreNodes) {
+		m[core] = true
+	}
+	f.maps[vm] = m
+}
+
+// rebuildMap reconstructs vm's map from trustworthy state: the cores where
+// the VM currently runs plus every core whose cache still holds its data.
+func (f *Filter) rebuildMap(vm mem.VMID) {
+	m := make(map[int]bool)
+	for c := range f.runningOf(vm) {
+		m[c] = true
+	}
+	if f.caches != nil {
+		for i, c := range f.caches {
+			if c != nil && c.Resident(vm) > 0 {
+				m[i] = true
+			}
+		}
+	}
+	f.maps[vm] = m
+	f.MapRebuilds++
+}
+
 // MapCores returns the sorted cores in vm's vCPU map (for tests/stats).
 func (f *Filter) MapCores(vm mem.VMID) []int {
 	m := f.maps[vm]
@@ -314,7 +429,7 @@ func (f *Filter) Route(info token.RouteInfo) []mesh.NodeID {
 	}
 	switch info.Page {
 	case mem.PagePrivate:
-		return f.mapExcept(info.VM, info.Requester)
+		return f.domainExcept(info.VM, info.Requester)
 	case mem.PageRWShared:
 		return f.allExcept(info.Requester)
 	case mem.PageROShared:
@@ -324,9 +439,9 @@ func (f *Filter) Route(info token.RouteInfo) []mesh.NodeID {
 		case ContentMemoryDirect:
 			return nil
 		case ContentIntraVM:
-			return f.mapExcept(info.VM, info.Requester)
+			return f.domainExcept(info.VM, info.Requester)
 		case ContentFriendVM:
-			out := f.mapExcept(info.VM, info.Requester)
+			out := f.domainExcept(info.VM, info.Requester)
 			if friend, ok := f.friends[info.VM]; ok {
 				seen := make(map[mesh.NodeID]bool, len(out))
 				for _, n := range out {
@@ -350,6 +465,57 @@ func (f *Filter) allExcept(requester int) []mesh.NodeID {
 		if i != requester {
 			out = append(out, n)
 		}
+	}
+	return out
+}
+
+// domainExcept is the degradation-aware destination set for a VM's own
+// snoop domain: the plain map normally, the counter-augmented map at
+// suspicion level 1, full broadcast at level 2. With degradation disabled
+// it is exactly mapExcept.
+func (f *Filter) domainExcept(vm mem.VMID, requester int) []mesh.NodeID {
+	if !f.DegradationEnabled {
+		return f.mapExcept(vm, requester)
+	}
+	s := f.suspects[vm]
+	if s == nil || f.eng.Now() > s.until {
+		if s != nil {
+			delete(f.suspects, vm) // suspicion decayed
+		}
+		return f.mapExcept(vm, requester)
+	}
+	if s.level >= 2 {
+		f.FallbackBroadcast++
+		return f.allExcept(requester)
+	}
+	f.FallbackCounterAug++
+	return f.counterAugExcept(vm, requester)
+}
+
+// counterAugExcept returns the map augmented with every core whose
+// residence counter says it still holds the VM's data — the level-1
+// degradation set: cheap to compute, strictly safer than the map alone.
+func (f *Filter) counterAugExcept(vm mem.VMID, requester int) []mesh.NodeID {
+	cores := make(map[int]bool, len(f.maps[vm]))
+	for c := range f.maps[vm] {
+		cores[c] = true
+	}
+	if f.caches != nil {
+		for i, c := range f.caches {
+			if c != nil && c.Resident(vm) > 0 {
+				cores[i] = true
+			}
+		}
+	}
+	delete(cores, requester)
+	sorted := make([]int, 0, len(cores))
+	for c := range cores {
+		sorted = append(sorted, c)
+	}
+	sort.Ints(sorted)
+	out := make([]mesh.NodeID, len(sorted))
+	for i, c := range sorted {
+		out[i] = f.coreNodes[c]
 	}
 	return out
 }

@@ -127,12 +127,18 @@ func migRefs(base int, periodMs float64) int {
 // runMachine builds and runs one machine; it panics on configuration
 // errors (experiment configs are code, not user input).
 func runMachine(cfg system.Config) *system.Stats {
+	cfg.MaxSteps = MaxSteps
 	m, err := system.New(cfg)
 	if err != nil {
 		panic(err)
 	}
 	return m.Run()
 }
+
+// MaxSteps, when nonzero, bounds every experiment machine's event count
+// (vsnoop-report's -max-steps runaway guard; exhausting it panics with a
+// sim.StepLimitError rather than silently truncating results).
+var MaxSteps uint64
 
 // parallel runs fn(i) for i in [0, n) on all CPUs and returns the results
 // in order. Machines are single-threaded and independent, so experiment

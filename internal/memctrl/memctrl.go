@@ -56,6 +56,9 @@ type Ctrl struct {
 
 	Stats Stats
 
+	// Obs, if set, watches token custody changes (invariant checking).
+	Obs token.Observer
+
 	lines      map[mem.BlockAddr]*line
 	persistent map[mem.BlockAddr]*persistentEntry
 }
@@ -80,6 +83,39 @@ func (m *Ctrl) line(a mem.BlockAddr) *line {
 func (m *Ctrl) Tokens(a mem.BlockAddr) (int, bool) {
 	l := m.line(a)
 	return l.tokens, l.owner
+}
+
+// Peek returns the token account for a block without allocating a line:
+// present is false when the block has never left the reset state ("memory
+// holds all tokens"). Invariant checkers must use Peek, not Tokens, so that
+// checking never perturbs controller state.
+func (m *Ctrl) Peek(a mem.BlockAddr) (tokens int, owner, present bool) {
+	l, ok := m.lines[a]
+	if !ok {
+		return 0, false, false
+	}
+	return l.tokens, l.owner, true
+}
+
+// ForEachLine calls fn for every materialized line (iteration order is not
+// deterministic; callers that care must sort).
+func (m *Ctrl) ForEachLine(fn func(a mem.BlockAddr, tokens int, owner bool)) {
+	for a, l := range m.lines {
+		fn(a, l.tokens, l.owner)
+	}
+}
+
+// depart/arrive notify the token-custody observer.
+func (m *Ctrl) depart(addr mem.BlockAddr, tokens int, owner bool) {
+	if m.Obs != nil && (tokens > 0 || owner) {
+		m.Obs.Depart(addr, tokens, owner)
+	}
+}
+
+func (m *Ctrl) arrive(addr mem.BlockAddr, tokens int, owner bool) {
+	if m.Obs != nil && (tokens > 0 || owner) {
+		m.Obs.Arrive(addr, tokens, owner)
+	}
 }
 
 // Handle processes a delivered coherence message (mesh handler).
@@ -117,6 +153,7 @@ func (m *Ctrl) handleGetS(msg token.Msg) {
 		}
 		providerNearby := m.Oracle != nil && m.Oracle.ROProviderAmong(msg.Addr, msg.Dests)
 		tok, owner := m.takeOneToken(l)
+		m.depart(msg.Addr, tok, owner)
 		if providerNearby {
 			m.Stats.TokenSends++
 			m.send(msg.Src, token.Msg{Kind: token.MsgTokens, Addr: msg.Addr,
@@ -134,6 +171,7 @@ func (m *Ctrl) handleGetS(msg token.Msg) {
 		return
 	}
 	tok, owner := m.takeOneToken(l)
+	m.depart(msg.Addr, tok, owner)
 	m.Stats.DRAMReads++
 	m.send(msg.Src, token.Msg{Kind: token.MsgData, Addr: msg.Addr, Src: m.Node,
 		Tokens: tok, Owner: owner, Data: true}, m.P.DRAMLatency, true)
@@ -162,6 +200,7 @@ func (m *Ctrl) handleGetX(msg token.Msg) {
 	}
 	tok, owner := l.tokens, l.owner
 	l.tokens, l.owner = 0, false
+	m.depart(msg.Addr, tok, owner)
 	if owner {
 		m.Stats.DRAMReads++
 		m.send(msg.Src, token.Msg{Kind: token.MsgData, Addr: msg.Addr, Src: m.Node,
@@ -177,6 +216,7 @@ func (m *Ctrl) handleGetX(msg token.Msg) {
 // or forwards them when a persistent entry is active.
 func (m *Ctrl) absorb(msg token.Msg) {
 	if p, ok := m.persistent[msg.Addr]; ok && p.hasAct && p.active != msg.Src {
+		// Relayed tokens stay in flight: no Arrive/Depart on the ledger.
 		out := msg
 		out.Src = m.Node
 		bytes := m.P.CtrlBytes
@@ -186,6 +226,7 @@ func (m *Ctrl) absorb(msg token.Msg) {
 		m.Net.Send(m.Node, p.active, bytes, out)
 		return
 	}
+	m.arrive(msg.Addr, msg.Tokens, msg.Owner)
 	l := m.line(msg.Addr)
 	l.tokens += msg.Tokens
 	l.owner = l.owner || msg.Owner
@@ -227,6 +268,7 @@ func (m *Ctrl) activate(p *persistentEntry, msg token.Msg) {
 	if l.tokens > 0 || l.owner {
 		tok, owner := l.tokens, l.owner
 		l.tokens, l.owner = 0, false
+		m.depart(msg.Addr, tok, owner)
 		if owner {
 			m.Stats.DRAMReads++
 			m.send(msg.Src, token.Msg{Kind: token.MsgData, Addr: msg.Addr, Src: m.Node,

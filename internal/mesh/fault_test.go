@@ -1,0 +1,160 @@
+package mesh
+
+import (
+	"testing"
+
+	"vsnoop/internal/sim"
+)
+
+func TestFaultHookDrop(t *testing.T) {
+	eng, net, ids := build(t, false)
+	net.FaultHook = func(src, dst NodeID, bytes int, payload interface{}) FaultOutcome {
+		return FaultOutcome{Drop: true}
+	}
+	delivered := 0
+	net.SetHandler(ids[5], func(interface{}) { delivered++ })
+	net.Send(ids[0], ids[5], 8, "x")
+	eng.Run()
+	if delivered != 0 {
+		t.Fatalf("dropped message delivered %d times", delivered)
+	}
+}
+
+func TestFaultHookDuplicate(t *testing.T) {
+	eng, net, ids := build(t, false)
+	net.FaultHook = func(src, dst NodeID, bytes int, payload interface{}) FaultOutcome {
+		return FaultOutcome{Duplicate: true}
+	}
+	delivered := 0
+	net.SetHandler(ids[5], func(interface{}) { delivered++ })
+	net.Send(ids[0], ids[5], 8, "x")
+	eng.Run()
+	if delivered != 2 {
+		t.Fatalf("duplicated message delivered %d times, want 2", delivered)
+	}
+}
+
+func TestFaultHookRedirect(t *testing.T) {
+	eng, net, ids := build(t, false)
+	net.FaultHook = func(src, dst NodeID, bytes int, payload interface{}) FaultOutcome {
+		return FaultOutcome{Redirected: true, RedirectTo: ids[9]}
+	}
+	atDst, atRedirect := 0, 0
+	net.SetHandler(ids[5], func(interface{}) { atDst++ })
+	net.SetHandler(ids[9], func(interface{}) { atRedirect++ })
+	net.Send(ids[0], ids[5], 8, "x")
+	eng.Run()
+	if atDst != 0 || atRedirect != 1 {
+		t.Fatalf("redirect delivered dst=%d redirect=%d, want 0/1", atDst, atRedirect)
+	}
+}
+
+func TestFaultHookDelay(t *testing.T) {
+	// Identical sends with and without an injected delay: the delayed one
+	// arrives exactly Delay cycles later.
+	arrivals := make(map[string]sim.Cycle)
+	for _, tc := range []struct {
+		name  string
+		delay sim.Cycle
+	}{{"clean", 0}, {"delayed", 70}} {
+		eng, net, ids := build(t, false)
+		delay := tc.delay
+		net.FaultHook = func(src, dst NodeID, bytes int, payload interface{}) FaultOutcome {
+			return FaultOutcome{Delay: delay}
+		}
+		name := tc.name
+		net.SetHandler(ids[5], func(interface{}) { arrivals[name] = eng.Now() })
+		net.Send(ids[0], ids[5], 8, "x")
+		eng.Run()
+	}
+	if arrivals["delayed"] != arrivals["clean"]+70 {
+		t.Fatalf("delayed arrival %d, clean %d: want +70 exactly",
+			arrivals["delayed"], arrivals["clean"])
+	}
+}
+
+func TestFaultHookNilOutcomeIsTransparent(t *testing.T) {
+	// A hook returning the zero outcome must not perturb delivery timing.
+	var cleanAt, hookedAt sim.Cycle
+	{
+		eng, net, ids := build(t, false)
+		net.SetHandler(ids[7], func(interface{}) { cleanAt = eng.Now() })
+		net.Send(ids[2], ids[7], 72, "x")
+		eng.Run()
+	}
+	{
+		eng, net, ids := build(t, false)
+		net.FaultHook = func(NodeID, NodeID, int, interface{}) FaultOutcome { return FaultOutcome{} }
+		net.SetHandler(ids[7], func(interface{}) { hookedAt = eng.Now() })
+		net.Send(ids[2], ids[7], 72, "x")
+		eng.Run()
+	}
+	if cleanAt != hookedAt {
+		t.Fatalf("zero-outcome hook changed arrival: %d vs %d", hookedAt, cleanAt)
+	}
+}
+
+func TestDegradeLinksSlowsTraversal(t *testing.T) {
+	// Degrading every link multiplies serialization on each hop, so a
+	// multi-hop message must arrive strictly later than on a healthy mesh.
+	// Degradation models slow link serialization, so it only shows on the
+	// contention-aware path.
+	var healthyAt, degradedAt sim.Cycle
+	{
+		eng, net, ids := build(t, true)
+		net.SetHandler(ids[15], func(interface{}) { healthyAt = eng.Now() })
+		net.Send(ids[0], ids[15], 72, "x")
+		eng.Run()
+	}
+	{
+		eng, net, ids := build(t, true)
+		n := net.DegradeLinks(1000, 8, sim.NewRand(1))
+		if n == 0 {
+			t.Fatal("no links degraded")
+		}
+		net.SetHandler(ids[15], func(interface{}) { degradedAt = eng.Now() })
+		net.Send(ids[0], ids[15], 72, "x")
+		eng.Run()
+	}
+	if degradedAt <= healthyAt {
+		t.Fatalf("degraded mesh not slower: %d vs healthy %d", degradedAt, healthyAt)
+	}
+}
+
+func TestDegradeLinksDeterministic(t *testing.T) {
+	_, netA, _ := build(t, true)
+	_, netB, _ := build(t, true)
+	nA := netA.DegradeLinks(5, 4, sim.NewRand(42))
+	nB := netB.DegradeLinks(5, 4, sim.NewRand(42))
+	if nA != nB || nA != 5 {
+		t.Fatalf("degraded counts differ: %d vs %d (want 5)", nA, nB)
+	}
+	// Same seed must pick the same links: identical sends see identical
+	// latencies on both networks.
+	for src := NodeID(0); src < 16; src++ {
+		for dst := NodeID(0); dst < 16; dst++ {
+			la := measure(t, netA, src, dst)
+			lb := measure(t, netB, src, dst)
+			if la != lb {
+				t.Fatalf("latency %d->%d differs under same seed: %d vs %d", src, dst, la, lb)
+			}
+		}
+	}
+}
+
+// measure returns the delivery cycle of one message on an otherwise idle
+// network, relative to the network's engine clock at call time.
+func measure(t *testing.T, net *Network, src, dst NodeID) sim.Cycle {
+	t.Helper()
+	var at sim.Cycle
+	done := false
+	net.SetHandler(dst, func(interface{}) { at = net.eng.Now(); done = true })
+	start := net.eng.Now()
+	net.Send(src, dst, 8, "x")
+	net.eng.Run()
+	net.SetHandler(dst, nil)
+	if !done {
+		t.Fatalf("message %d->%d never delivered", src, dst)
+	}
+	return at - start
+}

@@ -51,6 +51,30 @@ type link struct {
 	dir  uint8 // 0=east 1=west 2=north 3=south
 }
 
+// FaultOutcome tells the network what the fault layer decided for one
+// injected message. The zero value means "deliver normally".
+type FaultOutcome struct {
+	// Drop discards the message at injection (no traffic is charged; the
+	// fault layer accounts it). Only messages whose loss the protocol
+	// tolerates may be dropped — see internal/fault for the classification.
+	Drop bool
+	// Duplicate injects a second, independently routed copy.
+	Duplicate bool
+	// Delay adds extra cycles to the arrival time (late delivery).
+	Delay sim.Cycle
+	// Redirected reroutes the message to RedirectTo instead of its
+	// destination (misdelivery; internal/fault uses it to bounce
+	// token-carrying messages to the home memory controller so tokens are
+	// never destroyed).
+	Redirected bool
+	RedirectTo NodeID
+}
+
+// FaultHook inspects every injected message and decides its fate. It must be
+// deterministic given the injection sequence (all randomness from seeded
+// sim.Rand streams) so faulted runs stay reproducible.
+type FaultHook func(src, dst NodeID, bytes int, payload interface{}) FaultOutcome
+
 // Network is the mesh interconnect. Create with New, attach endpoints,
 // then Send. All delivery happens through the shared sim.Engine.
 type Network struct {
@@ -59,6 +83,13 @@ type Network struct {
 	nodes []node
 
 	nextFree map[link]sim.Cycle
+
+	// FaultHook, if set, is consulted on every Send (fault injection).
+	FaultHook FaultHook
+
+	// degraded maps a directed link to a serialization multiplier > 1
+	// (link degradation fault: the link accepts fewer bytes per cycle).
+	degraded map[link]int
 
 	// Traffic statistics, flit-quantized: a message occupies whole flits
 	// of LinkBytesPerCycle bytes on every link it crosses (an 8-byte
@@ -163,8 +194,29 @@ func (n *Network) Latency(src, dst NodeID, bytes int) sim.Cycle {
 }
 
 // Send injects a message; the destination handler runs when the tail
-// arrives. Traffic statistics are charged immediately.
+// arrives. Traffic statistics are charged immediately. When a FaultHook is
+// installed it may drop, duplicate, delay, or redirect the message; the
+// hook runs once per Send (a duplicated copy is not re-faulted).
 func (n *Network) Send(src, dst NodeID, bytes int, payload interface{}) {
+	if n.FaultHook != nil {
+		out := n.FaultHook(src, dst, bytes, payload)
+		if out.Drop {
+			return
+		}
+		if out.Redirected {
+			dst = out.RedirectTo
+		}
+		if out.Duplicate {
+			n.transmit(src, dst, bytes, payload, out.Delay)
+		}
+		n.transmit(src, dst, bytes, payload, out.Delay)
+		return
+	}
+	n.transmit(src, dst, bytes, payload, 0)
+}
+
+// transmit performs the actual routing, accounting, and delivery.
+func (n *Network) transmit(src, dst NodeID, bytes int, payload interface{}, extra sim.Cycle) {
 	hops := n.Hops(src, dst)
 	n.Messages++
 	flitBytes := uint64(n.serialization(bytes)) * uint64(n.cfg.LinkBytesPerCycle)
@@ -176,23 +228,68 @@ func (n *Network) Send(src, dst NodeID, bytes int, payload interface{}) {
 		arrive = n.eng.Now() + n.Latency(src, dst, bytes)
 	} else {
 		ser := n.serialization(bytes)
+		lastSer := ser
 		t := n.eng.Now() + n.cfg.RouterDelay // source injection pipeline
 		for _, l := range n.route(src, dst) {
+			serL := ser
+			if f := n.degraded[l]; f > 1 {
+				serL = ser * sim.Cycle(f)
+			}
 			start := t
 			if nf := n.nextFree[l]; nf > start {
 				start = nf
 			}
-			n.nextFree[l] = start + ser
+			n.nextFree[l] = start + serL
 			t = start + n.cfg.LinkDelay + n.cfg.RouterDelay
+			lastSer = serL
 		}
-		arrive = t + ser - 1
+		arrive = t + lastSer - 1
 	}
+	arrive += extra
 	h := n.nodes[dst].handler
 	n.eng.ScheduleAt(arrive, func() {
 		if h != nil {
 			h(payload)
 		}
 	})
+}
+
+// DegradeLinks marks count randomly chosen directed links as degraded: their
+// serialization cost is multiplied by factor (a link-width fault). Links are
+// enumerated in a fixed deterministic order and chosen via rng, so identical
+// seeds degrade identical links. It returns the number of links degraded.
+// Degradation applies to the contention model only (Config.Contention).
+func (n *Network) DegradeLinks(count, factor int, rng *sim.Rand) int {
+	if count <= 0 || factor <= 1 {
+		return 0
+	}
+	var all []link
+	for y := 0; y < n.cfg.Height; y++ {
+		for x := 0; x < n.cfg.Width; x++ {
+			if x+1 < n.cfg.Width {
+				all = append(all, link{x: x, y: y, dir: 0}) // east
+			}
+			if x > 0 {
+				all = append(all, link{x: x, y: y, dir: 1}) // west
+			}
+			if y > 0 {
+				all = append(all, link{x: x, y: y, dir: 2}) // north
+			}
+			if y+1 < n.cfg.Height {
+				all = append(all, link{x: x, y: y, dir: 3}) // south
+			}
+		}
+	}
+	if count > len(all) {
+		count = len(all)
+	}
+	if n.degraded == nil {
+		n.degraded = make(map[link]int)
+	}
+	for _, i := range rng.Perm(len(all))[:count] {
+		n.degraded[all[i]] = factor
+	}
+	return count
 }
 
 // Multicast sends the same payload to every destination (one unicast per

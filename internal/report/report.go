@@ -9,10 +9,31 @@ import (
 	"strings"
 
 	"vsnoop/internal/exp"
+	"vsnoop/internal/system"
 )
 
 func header(w io.Writer, title string) {
 	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("-", len(title)))
+}
+
+// Robustness renders one run's fault-injection and invariant-checking
+// record: what was injected, how the filter degraded and recovered, and
+// whether every protocol invariant held.
+func Robustness(w io.Writer, st *system.Stats) {
+	header(w, "Robustness: injected faults, degradation, invariants")
+	fmt.Fprintf(w, "%-28s %d dropped / %d bounced / %d duplicated / %d delayed\n",
+		"message faults", st.FaultsDropped, st.FaultsBounced, st.FaultsDuplicated, st.FaultsDelayed)
+	fmt.Fprintf(w, "%-28s %d map / %d counter / %d storm swaps\n",
+		"scheduled faults", st.MapCorruptions, st.CounterCorruptions, st.StormRelocations)
+	fmt.Fprintf(w, "%-28s %d counter-augmented / %d broadcast\n",
+		"degraded routes", st.FallbackCounterAug, st.FallbackBroadcast)
+	fmt.Fprintf(w, "%-28s %d rebuilds / %d counter underflows\n",
+		"map recovery", st.MapRebuilds, st.CounterUnderflows)
+	fmt.Fprintf(w, "%-28s %d sweeps, %d violations\n",
+		"invariant checks", st.InvariantChecks, len(st.InvariantViolations))
+	for _, v := range st.InvariantViolations {
+		fmt.Fprintf(w, "  VIOLATION %s\n", v)
+	}
 }
 
 // Figure1 renders the L2-miss decomposition.

@@ -49,6 +49,12 @@ type Engine struct {
 	seq    uint64
 	events eventHeap
 	fired  uint64
+
+	// No-forward-progress watchdog: when progressLimit > 0, StepChecked
+	// fails after that many events fire without a Progress() mark, turning a
+	// protocol livelock into a diagnosable error instead of a hang.
+	progressLimit uint64
+	sinceProgress uint64
 }
 
 // NewEngine returns an empty engine at cycle 0.
@@ -96,6 +102,77 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run() {
 	for e.Step() {
 	}
+}
+
+// StepLimitError reports that a bounded run exhausted its event budget with
+// work still queued.
+type StepLimitError struct {
+	Limit   uint64 // the budget that was exhausted
+	Now     Cycle  // simulated time at exhaustion
+	Pending int    // events still queued
+}
+
+func (e *StepLimitError) Error() string {
+	return fmt.Sprintf("sim: step budget %d exhausted at cycle %d with %d events pending (livelock or undersized budget)",
+		e.Limit, e.Now, e.Pending)
+}
+
+// NoProgressError reports that the watchdog saw too many events fire without
+// a Progress() mark — the signature of a protocol livelock (events keep
+// firing but no externally visible work completes).
+type NoProgressError struct {
+	Limit   uint64 // events allowed between Progress() marks
+	Now     Cycle  // simulated time at the trip
+	Pending int    // events still queued
+}
+
+func (e *NoProgressError) Error() string {
+	return fmt.Sprintf("sim: watchdog tripped at cycle %d: %d events fired without forward progress (%d pending)",
+		e.Now, e.Limit, e.Pending)
+}
+
+// SetProgressLimit arms the no-forward-progress watchdog: StepChecked fails
+// once limit events fire without an intervening Progress() call. 0 disarms.
+func (e *Engine) SetProgressLimit(limit uint64) {
+	e.progressLimit = limit
+	e.sinceProgress = 0
+}
+
+// Progress marks forward progress (e.g. a completed memory reference),
+// resetting the watchdog.
+func (e *Engine) Progress() { e.sinceProgress = 0 }
+
+// StepChecked executes the next event like Step, but fails with a
+// NoProgressError when the watchdog limit is exceeded.
+func (e *Engine) StepChecked() (bool, error) {
+	if e.progressLimit > 0 && e.sinceProgress >= e.progressLimit {
+		return false, &NoProgressError{Limit: e.progressLimit, Now: e.now, Pending: len(e.events)}
+	}
+	if !e.Step() {
+		return false, nil
+	}
+	e.sinceProgress++
+	return true, nil
+}
+
+// RunBoundedSteps executes events until the queue is empty, failing with a
+// StepLimitError if more than max events would be needed (or a
+// NoProgressError if the watchdog trips first). It is the hang-proof
+// replacement for Run in command-line drivers.
+func (e *Engine) RunBoundedSteps(max uint64) error {
+	for i := uint64(0); i < max; i++ {
+		ok, err := e.StepChecked()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	if len(e.events) == 0 {
+		return nil
+	}
+	return &StepLimitError{Limit: max, Now: e.now, Pending: len(e.events)}
 }
 
 // RunUntil executes events with timestamps <= limit, then stops. The clock

@@ -11,6 +11,7 @@ import (
 
 	"vsnoop/internal/cache"
 	"vsnoop/internal/core"
+	"vsnoop/internal/fault"
 	"vsnoop/internal/mesh"
 	"vsnoop/internal/sim"
 	"vsnoop/internal/tlb"
@@ -91,6 +92,28 @@ type Config struct {
 	// Snoop filtering does not apply; the Filter settings are ignored.
 	Directory bool
 
+	// Fault, if non-nil and active, enables deterministic fault injection
+	// (internal/fault) and graceful map degradation in the filter. It also
+	// implies Checks. Token-protocol runs only.
+	Fault *fault.Plan
+
+	// Checks enables online invariant checking (internal/check) even
+	// without a fault plan. Checks are observation-only: results of a run
+	// are bit-identical with and without them.
+	Checks bool
+	// CheckPeriod is the invariant-check interval in cycles (0 = 5000).
+	CheckPeriod sim.Cycle
+	// TxnAgeLimit bounds how long one coherence transaction may stay
+	// outstanding before the completion invariant flags it (0 = 500k).
+	TxnAgeLimit sim.Cycle
+
+	// MaxSteps bounds the run's executed event count; RunChecked returns a
+	// sim.StepLimitError when exhausted (0 = unbounded).
+	MaxSteps uint64
+	// ProgressLimit arms the no-forward-progress watchdog: an error after
+	// this many events without a completed reference (0 = 10M).
+	ProgressLimit uint64
+
 	Seed uint64
 }
 
@@ -150,7 +173,29 @@ func (c Config) Validate() error {
 	if c.MCs <= 0 || c.MCs > 4 {
 		return fmt.Errorf("system: MCs must be 1..4 (mesh corners)")
 	}
+	if err := c.Fault.Validate(); err != nil {
+		return err
+	}
+	if c.Fault.Active() && c.Directory {
+		return fmt.Errorf("system: fault injection targets the token protocol; not supported with Directory")
+	}
+	for i, ev := range c.faultEvents() {
+		if ev.VM >= c.VMs {
+			return fmt.Errorf("system: fault event %d targets VM %d of %d", i, ev.VM, c.VMs)
+		}
+		if ev.Core >= c.Cores {
+			return fmt.Errorf("system: fault event %d targets core %d of %d", i, ev.Core, c.Cores)
+		}
+	}
 	return nil
+}
+
+// faultEvents returns the plan's events (nil-safe).
+func (c Config) faultEvents() []fault.Event {
+	if c.Fault == nil {
+		return nil
+	}
+	return c.Fault.Events
 }
 
 // workloadFor returns the profile name of VM i.

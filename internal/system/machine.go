@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"vsnoop/internal/cache"
+	"vsnoop/internal/check"
 	"vsnoop/internal/core"
 	"vsnoop/internal/directory"
+	"vsnoop/internal/fault"
 	"vsnoop/internal/hv"
 	"vsnoop/internal/mem"
 	"vsnoop/internal/memctrl"
@@ -77,6 +79,13 @@ type Machine struct {
 	homes  []*directory.Home
 	vcpus  []*vcpu
 	node2i map[mesh.NodeID]int // core endpoint -> core index
+
+	// Injector applies the configured fault plan (nil without one).
+	Injector *fault.Injector
+	// Checker evaluates protocol invariants online (nil unless Checks or a
+	// fault plan is configured).
+	Checker *check.Checker
+	ledger  *check.Ledger
 
 	dom0 mem.VMID
 
@@ -208,8 +217,72 @@ func New(cfg Config) (*Machine, error) {
 		m.cores[coreIdx].ctrl.FlushVM(vm)
 	}
 
+	// Fault injection: mesh hook, degradation, underflow recovery, and
+	// scheduled events. Token-protocol only (Validate enforces it).
+	if cfg.Fault.Active() && !cfg.Directory {
+		m.Injector = fault.NewInjector(cfg.Fault, cfg.Seed)
+		m.Injector.Attach(m.Net, mcNodes)
+		m.Filter.DegradationEnabled = true
+		for _, cn := range m.cores {
+			cn.ctrl.Esc = m.Filter
+			cn.l2.OnResidenceUnderflow = m.Filter.NoteUnderflow
+		}
+		m.Injector.ScheduleEvents(m.Eng, fault.EventHooks{
+			CorruptMap: m.Filter.CorruptMap,
+			CorruptCounter: func(coreIdx int, vm mem.VMID, delta int) {
+				if coreIdx >= 0 && coreIdx < len(m.cores) {
+					m.cores[coreIdx].l2.CorruptResidence(vm, delta)
+				}
+			},
+			MigrationStorm: m.migrationStorm,
+		})
+	}
+
+	// Invariant checking: token-custody ledger on every controller plus
+	// the periodic checker. Observation-only, so results are identical
+	// with or without it; a fault plan always implies it.
+	if (cfg.Checks || cfg.Fault.Active()) && !cfg.Directory {
+		m.ledger = check.NewLedger()
+		ctrls := make([]*token.CacheCtrl, len(m.cores))
+		for i, cn := range m.cores {
+			cn.ctrl.Obs = m.ledger
+			ctrls[i] = cn.ctrl
+		}
+		for _, mc := range m.mcs {
+			mc.Obs = m.ledger
+		}
+		ageLimit := cfg.TxnAgeLimit
+		if ageLimit == 0 {
+			ageLimit = 500_000
+		}
+		m.Checker = &check.Checker{Eng: m.Eng, Period: cfg.CheckPeriod}
+		m.Checker.Add(check.TokenConservation(cfg.P.TotalTokens, l2s, m.mcs, m.ledger))
+		m.Checker.Add(check.SingleWriter(cfg.P.TotalTokens, l2s))
+		m.Checker.Add(check.TxnCompletion(m.Eng, ctrls, ageLimit))
+	}
+
 	m.setupVMs()
 	return m, nil
+}
+
+// migrationStorm performs up to pairs cross-VM vCPU swaps back-to-back (a
+// relocation burst that churns every vCPU map at once). It returns the
+// number of relocations performed.
+func (m *Machine) migrationStorm(pairs int) int {
+	before := m.Mapper.Relocations
+	n := m.Mapper.NumCores()
+	for p := 0; p < pairs; p++ {
+		for try := 0; try < 16; try++ {
+			a, b := m.Injector.Rng.Intn(n), m.Injector.Rng.Intn(n)
+			va, vb := m.Mapper.On(a), m.Mapper.On(b)
+			if va == hv.NoVCPU || vb == hv.NoVCPU || va.VM == vb.VM {
+				continue
+			}
+			m.Mapper.Swap(a, b)
+			break
+		}
+	}
+	return int(m.Mapper.Relocations - before)
 }
 
 // ReplaceSources swaps every vCPU's reference source (e.g. with trace
@@ -339,8 +412,21 @@ func (m *Machine) onFill(b *cache.Block, t *token.Txn) {
 }
 
 // Run executes the configured reference streams to completion and returns
-// the collected statistics.
+// the collected statistics; it panics on a runtime failure (watchdog trip,
+// step-budget exhaustion, drained queue). Use RunChecked to get the error.
 func (m *Machine) Run() *Stats {
+	st, err := m.RunChecked()
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// RunChecked executes the run under the no-forward-progress watchdog and
+// (when configured) the step budget and invariant checker. The returned
+// Stats are valid even on error — they describe the run up to the failure,
+// which is exactly what a livelock diagnosis needs.
+func (m *Machine) RunChecked() (*Stats, error) {
 	cfg := m.cfg
 	if cfg.MigrationPeriodMs > 0 {
 		sh := &hv.Shuffler{
@@ -351,6 +437,15 @@ func (m *Machine) Run() *Stats {
 		sh.Start()
 		defer sh.Stop()
 	}
+	if m.Checker != nil {
+		m.Checker.Start()
+		defer m.Checker.Stop()
+	}
+	limit := cfg.ProgressLimit
+	if limit == 0 {
+		limit = 10_000_000
+	}
+	m.Eng.SetProgressLimit(limit)
 	m.liveVCPUs = len(m.vcpus)
 	if cfg.WarmupRefs > 0 {
 		m.warmLeft = len(m.vcpus)
@@ -361,23 +456,38 @@ func (m *Machine) Run() *Stats {
 		v := v
 		m.Eng.Schedule(sim.Cycle(i), func() { m.step(v) })
 	}
-	m.runUntilDone()
+	err := m.runUntilDone()
+	if err == nil && m.Checker != nil {
+		m.Checker.CheckNow() // final sweep at quiescence
+	}
 	m.finalizeStats()
-	return &m.Stats
+	return &m.Stats, err
 }
 
-// runUntilDone drains events until every vCPU finished. The shuffler keeps
-// the queue non-empty, so Step until liveVCPUs reaches zero.
-func (m *Machine) runUntilDone() {
-	for m.liveVCPUs > 0 && m.Eng.Step() {
+// runUntilDone drains events until every vCPU finished. The shuffler and
+// checker keep the queue non-empty, so step until liveVCPUs reaches zero,
+// failing on a watchdog trip or an exhausted step budget.
+func (m *Machine) runUntilDone() error {
+	var steps uint64
+	for m.liveVCPUs > 0 {
+		ok, err := m.Eng.StepChecked()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("system: event queue drained with %d unfinished vCPUs", m.liveVCPUs)
+		}
+		steps++
+		if m.cfg.MaxSteps > 0 && steps >= m.cfg.MaxSteps && m.liveVCPUs > 0 {
+			return &sim.StepLimitError{Limit: m.cfg.MaxSteps, Now: m.Eng.Now(), Pending: m.Eng.Pending()}
+		}
 	}
-	if m.liveVCPUs > 0 {
-		panic("system: event queue drained with unfinished vCPUs")
-	}
+	return nil
 }
 
 // step issues the next reference of v on its current core.
 func (m *Machine) step(v *vcpu) {
+	m.Eng.Progress() // a vCPU advancing its stream is forward progress
 	if v.left == 0 {
 		m.liveVCPUs--
 		if m.Stats.ExecCycles < uint64(m.Eng.Now()) {

@@ -1,0 +1,183 @@
+package system
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vsnoop/internal/core"
+	"vsnoop/internal/fault"
+)
+
+// soakPlan is the moderate reference plan plus one of each scheduled
+// event kind, exercising every injection path in one run.
+func soakPlan(seed uint64) *fault.Plan {
+	p := fault.Moderate(seed)
+	p.DegradedLinks = 2
+	p.Events = []fault.Event{
+		{At: 40_000, Kind: fault.EvCorruptMap, VM: 1, Core: 2},
+		{At: 60_000, Kind: fault.EvCorruptCounter, VM: 2, Core: 9, Count: -1},
+		{At: 80_000, Kind: fault.EvMigrationStorm, Count: 4},
+	}
+	return p
+}
+
+// TestSoakAllPoliciesUnderFaults drives every snoop policy x content
+// policy combination through the moderate fault plan and requires the
+// run to complete with every invariant intact — the paper's safety
+// argument ("a wrong destination set only costs performance") verified
+// mechanically across the whole policy space.
+func TestSoakAllPoliciesUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test is slow")
+	}
+	policies := []core.Policy{
+		core.PolicyBroadcast, core.PolicyBase, core.PolicyCounter,
+		core.PolicyCounterThreshold, core.PolicyCounterFlush,
+	}
+	contents := []core.ContentPolicy{
+		core.ContentBroadcast, core.ContentMemoryDirect,
+		core.ContentIntraVM, core.ContentFriendVM,
+	}
+	for _, pol := range policies {
+		for _, con := range contents {
+			pol, con := pol, con
+			t.Run(fmt.Sprintf("%v_%v", pol, con), func(t *testing.T) {
+				cfg := smallCfg()
+				cfg.RefsPerVCPU = 2000
+				cfg.WarmupRefs = 400
+				cfg.Filter.Policy = pol
+				cfg.Filter.Content = con
+				cfg.ContentSharing = con != core.ContentBroadcast
+				cfg.MigrationPeriodMs = 2 // keep maps churning too
+				cfg.Fault = soakPlan(7)
+				m, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := m.RunChecked()
+				if err != nil {
+					t.Fatalf("run failed under faults: %v", err)
+				}
+				if len(st.InvariantViolations) != 0 {
+					t.Fatalf("invariants violated: %v", st.InvariantViolations)
+				}
+				if st.InvariantChecks == 0 {
+					t.Fatal("checker never ran")
+				}
+				if st.FaultsDropped == 0 && st.FaultsBounced == 0 && st.FaultsDelayed == 0 {
+					t.Fatal("fault plan injected nothing")
+				}
+				if st.MapCorruptions != 1 || st.CounterCorruptions != 1 {
+					t.Fatalf("scheduled events: %d map / %d counter, want 1/1",
+						st.MapCorruptions, st.CounterCorruptions)
+				}
+				// Completion itself is guaranteed by err == nil (the run
+				// only returns once every vCPU finished its stream); the
+				// measured phase must still have seen real activity.
+				if st.L1Accesses == 0 || st.Transactions == 0 {
+					t.Fatalf("no measured activity: %d accesses, %d transactions",
+						st.L1Accesses, st.Transactions)
+				}
+			})
+		}
+	}
+}
+
+// TestSoakBitIdentical requires identical (Config, FaultPlan, Seed) to
+// produce bit-identical statistics, across several seeds.
+func TestSoakBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test is slow")
+	}
+	for _, seed := range []uint64{1, 7, 1234} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			run := func() *Stats {
+				cfg := smallCfg()
+				cfg.RefsPerVCPU = 2000
+				cfg.Filter.Policy = core.PolicyCounter
+				cfg.MigrationPeriodMs = 2
+				cfg.Seed = seed
+				cfg.Fault = soakPlan(seed)
+				m, err := New(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				st, err := m.RunChecked()
+				if err != nil {
+					t.Fatal(err)
+				}
+				return st
+			}
+			a, b := run(), run()
+			// Compare the full exported statistics records (cfg and the
+			// warmup snapshot are unexported and irrelevant).
+			va, vb := reflect.ValueOf(*a), reflect.ValueOf(*b)
+			tp := va.Type()
+			for i := 0; i < tp.NumField(); i++ {
+				f := tp.Field(i)
+				if f.PkgPath != "" || f.Name == "RemovalPeriods" || f.Name == "MissLatency" {
+					continue
+				}
+				if !reflect.DeepEqual(va.Field(i).Interface(), vb.Field(i).Interface()) {
+					t.Fatalf("field %s differs across identical runs: %v vs %v",
+						f.Name, va.Field(i).Interface(), vb.Field(i).Interface())
+				}
+			}
+			if a.MissLatency.Mean() != b.MissLatency.Mean() {
+				t.Fatalf("miss latency differs: %v vs %v", a.MissLatency.Mean(), b.MissLatency.Mean())
+			}
+			if a.ExecCycles != b.ExecCycles {
+				t.Fatalf("exec cycles differ: %d vs %d", a.ExecCycles, b.ExecCycles)
+			}
+		})
+	}
+}
+
+// TestChecksAloneAreInvisible verifies that enabling invariant checking
+// without faults does not perturb the simulation: results are
+// bit-identical to a plain run.
+func TestChecksAloneAreInvisible(t *testing.T) {
+	run := func(checks bool) *Stats {
+		cfg := smallCfg()
+		cfg.RefsPerVCPU = 1500
+		cfg.Filter.Policy = core.PolicyCounter
+		cfg.MigrationPeriodMs = 2
+		cfg.Checks = checks
+		return runCfg(t, cfg)
+	}
+	plain, checked := run(false), run(true)
+	if checked.InvariantChecks == 0 {
+		t.Fatal("checker never ran")
+	}
+	if len(checked.InvariantViolations) != 0 {
+		t.Fatalf("fault-free run violated invariants: %v", checked.InvariantViolations)
+	}
+	if plain.ExecCycles != checked.ExecCycles ||
+		plain.SnoopsIssued != checked.SnoopsIssued ||
+		plain.Transactions != checked.Transactions ||
+		plain.ByteHops != checked.ByteHops ||
+		plain.Retries != checked.Retries {
+		t.Fatalf("observation-only checks changed the simulation:\nplain   %+v\nchecked %+v",
+			plain, checked)
+	}
+}
+
+// TestMaxStepsBoundsRun verifies the step bound terminates a run early
+// with an error (and partial stats) instead of hanging.
+func TestMaxStepsBoundsRun(t *testing.T) {
+	cfg := smallCfg()
+	cfg.MaxSteps = 10_000 // far too few to finish
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.RunChecked()
+	if err == nil {
+		t.Fatal("10k-step bound did not trip")
+	}
+	if st == nil {
+		t.Fatal("stats not returned alongside the bound error")
+	}
+}

@@ -74,6 +74,23 @@ type Stats struct {
 
 	MissLatency stats.Sample
 
+	// Robustness counters (fault injection, graceful degradation, and
+	// invariant checking). Whole-run, never warmup-adjusted: faults and
+	// checks span the entire run including warmup.
+	FaultsDropped       uint64 // transient requests destroyed
+	FaultsBounced       uint64 // token-carrying messages redirected home
+	FaultsDuplicated    uint64
+	FaultsDelayed       uint64
+	MapCorruptions      uint64
+	CounterCorruptions  uint64
+	StormRelocations    uint64
+	FallbackCounterAug  uint64 // routes served by the counter-augmented map
+	FallbackBroadcast   uint64 // routes served by degradation broadcast
+	MapRebuilds         uint64
+	CounterUnderflows   uint64
+	InvariantChecks     uint64
+	InvariantViolations []string
+
 	warm    snapshot
 	hasWarm bool
 }
@@ -228,6 +245,25 @@ func (m *Machine) finalizeStats() {
 	s.MapSyncs = m.Filter.MapSyncs
 	s.Relocations = m.Mapper.Relocations
 	s.RemovalPeriods = &m.Filter.RemovalPeriods
+
+	s.FallbackCounterAug = m.Filter.FallbackCounterAug
+	s.FallbackBroadcast = m.Filter.FallbackBroadcast
+	s.MapRebuilds = m.Filter.MapRebuilds
+	s.CounterUnderflows = m.Filter.Underflows
+	if m.Injector != nil {
+		fs := m.Injector.Stats
+		s.FaultsDropped = fs.Dropped
+		s.FaultsBounced = fs.Bounced
+		s.FaultsDuplicated = fs.Duplicated
+		s.FaultsDelayed = fs.Delayed
+		s.MapCorruptions = fs.MapCorruptions
+		s.CounterCorruptions = fs.CounterCorruptions
+		s.StormRelocations = fs.StormRelocations
+	}
+	if m.Checker != nil {
+		s.InvariantChecks = m.Checker.Checks
+		s.InvariantViolations = m.Checker.Violations
+	}
 
 	if s.hasWarm {
 		w := s.warm

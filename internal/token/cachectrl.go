@@ -67,6 +67,12 @@ type CacheCtrl struct {
 
 	Stats Stats
 
+	// Obs, if set, watches token custody changes (invariant checking).
+	Obs Observer
+	// Esc, if set, is told when a transaction escalates past a filtering
+	// threshold (graceful map degradation in the snoop filter).
+	Esc EscalationSink
+
 	// OnFill, if set, runs when a transaction completes and its block is
 	// resident (the system layer uses it to designate RO provider copies).
 	OnFill func(b *cache.Block, t *Txn)
@@ -86,6 +92,16 @@ func (c *CacheCtrl) Init() {
 
 // Busy reports whether a transaction is outstanding.
 func (c *CacheCtrl) Busy() bool { return c.cur != nil }
+
+// Outstanding describes the in-flight transaction, if any: its address,
+// issue cycle, and attempt count. The transaction-completion invariant
+// (internal/check) uses it to detect transactions stuck beyond an age bound.
+func (c *CacheCtrl) Outstanding() (addr mem.BlockAddr, issued sim.Cycle, attempt int, ok bool) {
+	if c.cur == nil {
+		return 0, 0, 0, false
+	}
+	return c.cur.Addr, c.cur.Issued, c.cur.Attempt, true
+}
 
 // HomeMC returns the home memory controller endpoint for addr
 // (block-interleaved).
@@ -132,6 +148,9 @@ func (c *CacheCtrl) issueAttempt() {
 
 	var dests []mesh.NodeID
 	if t.Attempt > c.P.RetriesBeforeBroadcast {
+		if t.Attempt == c.P.RetriesBeforeBroadcast+1 && c.Esc != nil {
+			c.Esc.NoteEscalation(t.VM, 1)
+		}
 		dests = c.AllCores
 	} else {
 		dests = c.Router.Route(RouteInfo{
@@ -158,7 +177,24 @@ func (c *CacheCtrl) issueAttempt() {
 
 func (c *CacheCtrl) armTimeout(t *Txn) {
 	tid := t.TID
+	// Exponential backoff: attempt k waits base*2^(k-1), capped, so that a
+	// loss storm doesn't re-synchronize every loser onto the same retry
+	// cycle. Attempt 1 waits exactly TimeoutBase (fault-free timing is
+	// unchanged from before backoff existed).
 	wait := c.P.TimeoutBase
+	if shift := t.Attempt - 1; shift > 0 {
+		if shift > 6 {
+			shift = 6 // avoid Cycle overflow on pathological attempt counts
+		}
+		wait = c.P.TimeoutBase << uint(shift)
+		maxWait := c.P.TimeoutMax
+		if maxWait == 0 {
+			maxWait = 8 * c.P.TimeoutBase
+		}
+		if wait > maxWait {
+			wait = maxWait
+		}
+	}
 	if c.P.TimeoutJitter > 0 {
 		wait += sim.Cycle(c.Rng.Intn(c.P.TimeoutJitter)) * sim.Cycle(t.Attempt)
 	}
@@ -174,6 +210,9 @@ func (c *CacheCtrl) armTimeout(t *Txn) {
 func (c *CacheCtrl) activatePersistent(t *Txn) {
 	t.persistent = true
 	c.Stats.Persistent++
+	if c.Esc != nil {
+		c.Esc.NoteEscalation(t.VM, 2)
+	}
 	c.Net.Send(c.Node, c.HomeMC(t.Addr), c.P.CtrlBytes, Msg{
 		Kind: MsgPersistentReq, Addr: t.Addr, Src: c.Node, VM: t.VM,
 		Page: t.Page, TID: t.TID, Write: t.Write, Dests: c.AllCores,
@@ -181,6 +220,20 @@ func (c *CacheCtrl) activatePersistent(t *Txn) {
 	// The activation broadcast costs a snoop at every core.
 	c.Stats.SnoopsIssued += uint64(len(c.AllCores)) + 1
 	c.armTimeout(t) // re-arm in case activation itself races
+}
+
+// depart/arrive notify the token-custody observer (no-ops when unset or
+// when the transfer carries nothing the ledger tracks).
+func (c *CacheCtrl) depart(addr mem.BlockAddr, tokens int, owner bool) {
+	if c.Obs != nil && (tokens > 0 || owner) {
+		c.Obs.Depart(addr, tokens, owner)
+	}
+}
+
+func (c *CacheCtrl) arrive(addr mem.BlockAddr, tokens int, owner bool) {
+	if c.Obs != nil && (tokens > 0 || owner) {
+		c.Obs.Arrive(addr, tokens, owner)
+	}
 }
 
 // Handle processes a delivered coherence message; it is the mesh handler
@@ -216,10 +269,12 @@ func (c *CacheCtrl) handleRequest(msg Msg) {
 		switch {
 		case b.Owner && b.Tokens >= 2:
 			b.Tokens--
+			c.depart(msg.Addr, 1, false)
 			c.respond(msg.Src, Msg{Kind: MsgData, Addr: msg.Addr, Src: c.Node,
 				Tokens: 1, Data: true})
 		case b.Owner: // only the owner token left: transfer ownership
 			info := c.L2.Invalidate(b)
+			c.depart(msg.Addr, info.Tokens, true)
 			c.respond(msg.Src, Msg{Kind: MsgData, Addr: msg.Addr, Src: c.Node,
 				Tokens: info.Tokens, Owner: true, Dirty: info.Dirty, Data: true})
 		case b.Provider && msg.Page == mem.PageROShared:
@@ -230,6 +285,7 @@ func (c *CacheCtrl) handleRequest(msg Msg) {
 		}
 	case MsgGetX:
 		info := c.L2.Invalidate(b)
+		c.depart(msg.Addr, info.Tokens, info.Owner)
 		kind := MsgTokens
 		if info.Owner {
 			kind = MsgData
@@ -256,9 +312,11 @@ func (c *CacheCtrl) respond(dst mesh.NodeID, msg Msg) {
 // active, or conserving them if no transaction wants them.
 func (c *CacheCtrl) handleResponse(msg Msg) {
 	if holder, ok := c.persistent[msg.Addr]; ok && holder != c.Node {
+		// Relayed tokens stay in flight: no Arrive/Depart on the ledger.
 		c.forward(holder, msg)
 		return
 	}
+	c.arrive(msg.Addr, msg.Tokens, msg.Owner)
 	t := c.cur
 	if t == nil || t.Addr != msg.Addr || t.completed {
 		// Stray response (e.g. a second holder answered a retried
@@ -340,6 +398,7 @@ func (c *CacheCtrl) handleActivate(msg Msg) {
 		return
 	}
 	info := c.L2.Invalidate(b)
+	c.depart(msg.Addr, info.Tokens, info.Owner)
 	kind := MsgTokens
 	if info.Owner {
 		kind = MsgData
@@ -382,6 +441,7 @@ func (c *CacheCtrl) writeback(v cache.EvictInfo) {
 
 func (c *CacheCtrl) writebackTokens(addr mem.BlockAddr, tokens int, owner, dirty bool) {
 	c.Stats.Writebacks++
+	c.depart(addr, tokens, owner)
 	kind := MsgWBTokens
 	bytes := c.P.CtrlBytes
 	if owner && dirty {

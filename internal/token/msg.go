@@ -87,6 +87,10 @@ type Params struct {
 
 	TimeoutBase   sim.Cycle // transient-request timeout (first attempt)
 	TimeoutJitter int       // random extra cycles per retry (livelock break)
+	// TimeoutMax caps the exponential backoff of the retry timeout; 0 means
+	// 8x TimeoutBase. Backoff desynchronizes retries under message-loss
+	// storms (without it every loser of a token race retries in lockstep).
+	TimeoutMax sim.Cycle
 
 	// RetriesBeforeBroadcast is the number of attempts issued with the
 	// Router's (possibly filtered) destination set before falling back to
@@ -140,4 +144,25 @@ type Router interface {
 // token-only message instead of a redundant data block (Section VI.B).
 type Oracle interface {
 	ROProviderAmong(addr mem.BlockAddr, cores []mesh.NodeID) bool
+}
+
+// Observer watches token custody changes at coherence controllers. Depart
+// fires when a controller hands tokens to the network (its own state already
+// decremented); Arrive fires when a controller absorbs them. The invariant
+// checker (internal/check) uses the pair to maintain an in-flight ledger, so
+// token conservation can be verified at any instant even while messages are
+// on the wire. Hooks are observation-only and must not mutate protocol state.
+type Observer interface {
+	Depart(addr mem.BlockAddr, tokens int, owner bool)
+	Arrive(addr mem.BlockAddr, tokens int, owner bool)
+}
+
+// EscalationSink is notified when a transaction escalates past a filtering
+// threshold: level 1 when it falls back to broadcast (the filtered
+// destination set failed RetriesBeforeBroadcast times), level 2 when it
+// resorts to a persistent request. The snoop filter (internal/core) uses
+// these signals to suspect the requesting VM's vCPU map and degrade its
+// destination sets gracefully (map -> counter-augmented map -> broadcast).
+type EscalationSink interface {
+	NoteEscalation(vm mem.VMID, level int)
 }

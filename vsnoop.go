@@ -30,6 +30,8 @@ import (
 	"fmt"
 
 	"vsnoop/internal/core"
+	"vsnoop/internal/fault"
+	"vsnoop/internal/sim"
 	"vsnoop/internal/system"
 	"vsnoop/internal/workload"
 )
@@ -106,7 +108,82 @@ type Config struct {
 	// the Section V/VI experiments run without it, like Virtual-GEMS.
 	Hypervisor bool
 
+	// Fault, if non-nil, runs the simulation under the given deterministic
+	// fault plan (message loss, map corruption, migration storms) with
+	// online invariant checking and graceful filter degradation enabled.
+	// Identical (Config, FaultPlan, Seed) produce bit-identical results.
+	Fault *FaultPlan
+	// Checks enables invariant checking without a fault plan (observation
+	// only: results are identical with and without it).
+	Checks bool
+	// MaxSteps bounds the simulation's event count; Run returns an error
+	// when it is exhausted (0 = unbounded).
+	MaxSteps uint64
+
 	Seed uint64
+}
+
+// FaultEventKind enumerates scheduled one-shot fault events.
+type FaultEventKind int
+
+const (
+	// FaultCorruptMap overwrites a VM's vCPU map register at a cycle:
+	// Core >= 0 leaves a single stale entry, Core < 0 clears the map.
+	FaultCorruptMap FaultEventKind = iota
+	// FaultCorruptCounter adds Count (default -1) to a VM's cache residence
+	// counter at a core.
+	FaultCorruptCounter
+	// FaultMigrationStorm performs Count random cross-VM vCPU swaps
+	// back-to-back.
+	FaultMigrationStorm
+)
+
+// FaultEvent is one scheduled fault.
+type FaultEvent struct {
+	AtCycle uint64 // absolute simulation cycle
+	Kind    FaultEventKind
+	VM      int
+	Core    int
+	Count   int
+}
+
+// FaultPlan is a seeded, reproducible fault scenario; see internal/fault
+// for the full fault-model rationale. Probabilities are percentages.
+type FaultPlan struct {
+	Seed uint64
+
+	DropPct  float64 // transient requests destroyed / responses bounced home
+	DupPct   float64 // transient requests duplicated
+	DelayPct float64 // non-persistent messages delayed
+	DelayMax int     // max extra delivery cycles (default 200)
+
+	DegradedLinks     int // mesh links with multiplied serialization cost
+	LinkDegradeFactor int // the multiplier (default 4)
+
+	Events []FaultEvent
+}
+
+// toInternal converts the public plan to the internal representation.
+func (p *FaultPlan) toInternal() *fault.Plan {
+	if p == nil {
+		return nil
+	}
+	fp := &fault.Plan{
+		Seed:              p.Seed,
+		DropPct:           p.DropPct,
+		DupPct:            p.DupPct,
+		DelayPct:          p.DelayPct,
+		DelayMax:          p.DelayMax,
+		DegradedLinks:     p.DegradedLinks,
+		LinkDegradeFactor: p.LinkDegradeFactor,
+	}
+	for _, ev := range p.Events {
+		fp.Events = append(fp.Events, fault.Event{
+			At: sim.Cycle(ev.AtCycle), Kind: fault.EventKind(ev.Kind),
+			VM: ev.VM, Core: ev.Core, Count: ev.Count,
+		})
+	}
+	return fp
 }
 
 // DefaultConfig returns the paper's Table II system running fft with the
@@ -149,6 +226,20 @@ type Result struct {
 	// ContentAccessPct / ContentMissPct are the Table V metrics.
 	ContentAccessPct float64
 	ContentMissPct   float64
+
+	// Robustness results (all zero without Config.Fault / Config.Checks).
+	// Fault counters are whole-run; see FaultPlan for the fault model.
+	FaultsDropped       uint64
+	FaultsBounced       uint64
+	FaultsDuplicated    uint64
+	FaultsDelayed       uint64
+	BroadcastFallbacks  uint64 // degraded routes served by full broadcast
+	CounterAugFallbacks uint64 // degraded routes served by the counter-augmented map
+	MapRebuilds         uint64
+	InvariantChecks     uint64
+	// InvariantViolations is empty when every registered protocol invariant
+	// held at every check (the expected outcome under any fault plan).
+	InvariantViolations []string
 
 	// Stats exposes the full low-level statistics record.
 	Stats *system.Stats
@@ -194,6 +285,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	sc.ContentSharing = cfg.ContentSharing
 	sc.NoHypervisor = !cfg.Hypervisor
+	sc.Fault = cfg.Fault.toInternal()
+	sc.Checks = cfg.Checks
+	sc.MaxSteps = cfg.MaxSteps
 	if cfg.Seed != 0 {
 		sc.Seed = cfg.Seed
 	}
@@ -202,7 +296,10 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	st := m.Run()
+	st, err := m.RunChecked()
+	if err != nil {
+		return nil, err
+	}
 	return &Result{
 		ExecCycles:           st.ExecCycles,
 		SnoopsPerTransaction: st.SnoopsPerTransaction(),
@@ -215,6 +312,15 @@ func Run(cfg Config) (*Result, error) {
 		HypervisorMissPct:    st.HypervisorMissPct(),
 		ContentAccessPct:     st.ContentAccessPct(),
 		ContentMissPct:       st.ContentMissPct(),
+		FaultsDropped:        st.FaultsDropped,
+		FaultsBounced:        st.FaultsBounced,
+		FaultsDuplicated:     st.FaultsDuplicated,
+		FaultsDelayed:        st.FaultsDelayed,
+		BroadcastFallbacks:   st.FallbackBroadcast,
+		CounterAugFallbacks:  st.FallbackCounterAug,
+		MapRebuilds:          st.MapRebuilds,
+		InvariantChecks:      st.InvariantChecks,
+		InvariantViolations:  st.InvariantViolations,
 		Stats:                st,
 	}, nil
 }

@@ -15,10 +15,13 @@ import (
 	"strings"
 
 	"vsnoop"
+	"vsnoop/internal/prof"
 	"vsnoop/internal/report"
 )
 
 func main() {
+	var profiles prof.Flags
+	profiles.AddFlags(nil)
 	workloadFlag := flag.String("workload", "fft", "application profile (comma-separated for per-VM mix); see -list")
 	policyFlag := flag.String("policy", "base", "snoop policy: tokenb, base, counter, counter-threshold, counter-flush")
 	contentFlag := flag.String("content", "broadcast", "content policy: broadcast, memory-direct, intra-vm, friend-vm")
@@ -136,7 +139,12 @@ func main() {
 		cfg.Fault = plan
 	}
 
+	if err := profiles.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	res, err := vsnoop.Run(cfg)
+	profiles.Stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

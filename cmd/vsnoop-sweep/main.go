@@ -2,9 +2,15 @@
 // snoop policies for a set of workloads and emits CSV, for plotting or
 // regression tracking.
 //
+// Configurations run in parallel on a bounded worker pool (-workers, default
+// GOMAXPROCS), but rows stream to stdout in the stable serial order
+// (workload, period, policy) as soon as each prefix of the sweep completes,
+// so parallel output is byte-identical to -workers=1. A failing
+// configuration aborts the sweep with a non-zero exit identifying it.
+//
 // Usage:
 //
-//	vsnoop-sweep -workloads fft,ocean -periods 5,2.5,0.5,0.1 > sweep.csv
+//	vsnoop-sweep -workloads fft,ocean -periods 5,2.5,0.5,0.1 -workers 8 > sweep.csv
 package main
 
 import (
@@ -15,7 +21,24 @@ import (
 	"strings"
 
 	"vsnoop"
+	"vsnoop/internal/prof"
+	"vsnoop/internal/runner"
 )
+
+// job is one sweep configuration, carrying its identity for row output and
+// error reporting.
+type job struct {
+	workload string
+	period   float64
+	policy   vsnoop.Policy
+	cfg      vsnoop.Config
+}
+
+// outcome is one configuration's result or failure.
+type outcome struct {
+	res *vsnoop.Result
+	err error
+}
 
 func main() {
 	workloads := flag.String("workloads", "fft,ocean,radix", "comma-separated workloads")
@@ -23,6 +46,9 @@ func main() {
 	refs := flag.Int("refs", 25000, "references per vCPU (measured)")
 	warmup := flag.Int("warmup", 3000, "warmup references per vCPU")
 	cyclesPerMs := flag.Uint64("cycles-per-ms", 12000, "cycles per scheduler millisecond")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	var profiles prof.Flags
+	profiles.AddFlags(nil)
 	flag.Parse()
 
 	var ps []float64
@@ -39,7 +65,9 @@ func main() {
 		vsnoop.PolicyCounter, vsnoop.PolicyCounterThreshold,
 	}
 
-	fmt.Println("workload,period_ms,policy,snoops_per_txn,traffic_byte_hops,exec_cycles,relocations,retries,persistent")
+	// Build the job list in the stable output order: workload-major, then
+	// period, then policy. Stream emits rows in exactly this order.
+	var jobs []job
 	for _, app := range strings.Split(*workloads, ",") {
 		app = strings.TrimSpace(app)
 		for _, period := range ps {
@@ -51,16 +79,41 @@ func main() {
 				cfg.WarmupRefs = *warmup
 				cfg.MigrationPeriodMs = period
 				cfg.CyclesPerMs = *cyclesPerMs
-				res, err := vsnoop.Run(cfg)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, err)
-					os.Exit(1)
-				}
-				fmt.Printf("%s,%g,%s,%.3f,%d,%d,%d,%d,%d\n",
-					app, period, pol, res.SnoopsPerTransaction,
-					res.TrafficByteHops, res.ExecCycles,
-					res.Relocations, res.Retries, res.Persistent)
+				jobs = append(jobs, job{workload: app, period: period, policy: pol, cfg: cfg})
 			}
 		}
+	}
+
+	if err := profiles.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fmt.Println("workload,period_ms,policy,snoops_per_txn,traffic_byte_hops,exec_cycles,relocations,retries,persistent")
+	var failed *job
+	var failure error
+	runner.Stream(*workers, len(jobs), func(i int) outcome {
+		res, err := vsnoop.Run(jobs[i].cfg)
+		return outcome{res: res, err: err}
+	}, func(i int, o outcome) {
+		if failure != nil {
+			return // already failing: suppress rows after the first error
+		}
+		if o.err != nil {
+			failed, failure = &jobs[i], o.err
+			return
+		}
+		j, res := jobs[i], o.res
+		fmt.Printf("%s,%g,%s,%.3f,%d,%d,%d,%d,%d\n",
+			j.workload, j.period, j.policy, res.SnoopsPerTransaction,
+			res.TrafficByteHops, res.ExecCycles,
+			res.Relocations, res.Retries, res.Persistent)
+	})
+	profiles.Stop()
+
+	if failure != nil {
+		fmt.Fprintf(os.Stderr, "vsnoop-sweep: workload=%s period=%gms policy=%s: %v\n",
+			failed.workload, failed.period, failed.policy, failure)
+		os.Exit(1)
 	}
 }

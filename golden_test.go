@@ -1,0 +1,130 @@
+package vsnoop
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// goldenRow pins one configuration's headline results to the exact values
+// the simulator produced before the performance overhaul (the zero-alloc
+// event kernel, bit-vector vCPU maps, and dense link tables). The overhaul
+// must not change simulated behaviour at all: any drift here is a
+// determinism regression, not a tolerance question.
+type goldenRow struct {
+	name        string
+	cfg         Config
+	execCycles  uint64
+	snoopsPerTx string // %.6f
+	byteHops    uint64
+	l2Misses    uint64
+	txns        uint64
+	retries     uint64
+	persistent  uint64
+	relocations uint64
+}
+
+func goldenConfigs() []goldenRow {
+	mig := DefaultConfig()
+	mig.Workload = "fft"
+	mig.Policy = PolicyCounter
+	mig.MigrationPeriodMs = 2.5
+	mig.RefsPerVCPU = 3000
+	mig.WarmupRefs = 500
+	mig.Seed = 7
+
+	pinned := DefaultConfig()
+	pinned.Workload = "ocean"
+	pinned.Policy = PolicyCounterThreshold
+	pinned.RefsPerVCPU = 2500
+	pinned.WarmupRefs = 400
+	pinned.Seed = 3
+
+	content := DefaultConfig()
+	content.Workload = "radix"
+	content.Policy = PolicyBase
+	content.Content = ContentIntraVM
+	content.ContentSharing = true
+	content.RefsPerVCPU = 2000
+	content.WarmupRefs = 300
+	content.Seed = 11
+
+	faulted := DefaultConfig()
+	faulted.Workload = "fft"
+	faulted.Policy = PolicyCounterFlush
+	faulted.MigrationPeriodMs = 0.5
+	faulted.RefsPerVCPU = 2000
+	faulted.WarmupRefs = 300
+	faulted.Seed = 5
+	faulted.Fault = &FaultPlan{Seed: 9, DropPct: 1, DupPct: 0.5, DelayPct: 1}
+
+	return []goldenRow{
+		{"fft-counter-mig", mig, 278331, "4.197568", 5800672, 14886, 14886, 0, 0, 2},
+		{"ocean-threshold-pinned", pinned, 459377, "4.000000", 9970512, 27907, 27907, 0, 0, 0},
+		{"radix-base-content", content, 315169, "4.000000", 6763520, 19106, 19106, 0, 0, 0},
+		{"fft-flush-fault", faulted, 232303, "5.594438", 5846832, 12908, 12908, 303, 0, 10},
+	}
+}
+
+// TestGoldenResults asserts bit-identical results against the pre-overhaul
+// simulator across the policy space: a migrating counter run, a pinned
+// counter-threshold run, a content-sharing run, and a faulted flush run.
+func TestGoldenResults(t *testing.T) {
+	for _, g := range goldenConfigs() {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(g.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.ExecCycles != g.execCycles {
+				t.Errorf("ExecCycles = %d, want %d", res.ExecCycles, g.execCycles)
+			}
+			if s := fmt.Sprintf("%.6f", res.SnoopsPerTransaction); s != g.snoopsPerTx {
+				t.Errorf("SnoopsPerTransaction = %s, want %s", s, g.snoopsPerTx)
+			}
+			if res.TrafficByteHops != g.byteHops {
+				t.Errorf("TrafficByteHops = %d, want %d", res.TrafficByteHops, g.byteHops)
+			}
+			if res.L2Misses != g.l2Misses {
+				t.Errorf("L2Misses = %d, want %d", res.L2Misses, g.l2Misses)
+			}
+			if res.Transactions != g.txns {
+				t.Errorf("Transactions = %d, want %d", res.Transactions, g.txns)
+			}
+			if res.Retries != g.retries {
+				t.Errorf("Retries = %d, want %d", res.Retries, g.retries)
+			}
+			if res.Persistent != g.persistent {
+				t.Errorf("Persistent = %d, want %d", res.Persistent, g.persistent)
+			}
+			if res.Relocations != g.relocations {
+				t.Errorf("Relocations = %d, want %d", res.Relocations, g.relocations)
+			}
+		})
+	}
+}
+
+// TestRunTwiceIdentical runs every golden configuration twice and requires
+// the full Result records (including the low-level Stats) to be deeply
+// equal: a run must be a pure function of its Config.
+func TestRunTwiceIdentical(t *testing.T) {
+	for _, g := range goldenConfigs() {
+		g := g
+		t.Run(g.name, func(t *testing.T) {
+			t.Parallel()
+			a, err := Run(g.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(g.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("two runs of the same config diverged:\nfirst:  %+v\nsecond: %+v", a, b)
+			}
+		})
+	}
+}

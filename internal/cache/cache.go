@@ -106,7 +106,10 @@ type Cache struct {
 	setMask uint64
 	tick    uint64
 
-	resident map[mem.VMID]int
+	// resident is the per-VM residence counter file, a flat array indexed
+	// by mem.DenseVM (the hardware analogue: one small counter register per
+	// VM, not an associative structure). It grows on first touch of a VM.
+	resident []int
 
 	// OnResidenceZero, if set, fires when a VM's residence counter drops
 	// to zero (the trigger for vCPU-map removal in the counter policy).
@@ -146,10 +149,9 @@ func New(cfg Config) *Cache {
 		sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
 	}
 	return &Cache{
-		cfg:      cfg,
-		sets:     sets,
-		setMask:  uint64(nSets - 1),
-		resident: make(map[mem.VMID]int),
+		cfg:     cfg,
+		sets:    sets,
+		setMask: uint64(nSets - 1),
 	}
 }
 
@@ -182,30 +184,48 @@ func (c *Cache) Touch(b *Block) {
 
 // Resident returns the residence counter for vm: the number of valid
 // blocks tagged with that VM.
-func (c *Cache) Resident(vm mem.VMID) int { return c.resident[vm] }
+func (c *Cache) Resident(vm mem.VMID) int {
+	i := mem.DenseVM(vm)
+	if i >= len(c.resident) {
+		return 0
+	}
+	return c.resident[i]
+}
 
-// ResidentVMs returns every VM with a nonzero residence counter.
+// ResidentVMs returns every VM with a nonzero residence counter, in
+// counter-file order (deterministic).
 func (c *Cache) ResidentVMs() []mem.VMID {
 	out := make([]mem.VMID, 0, len(c.resident))
-	for vm, n := range c.resident {
+	for i, n := range c.resident {
 		if n > 0 {
-			out = append(out, vm)
+			out = append(out, mem.VMFromDense(i))
 		}
 	}
 	return out
 }
 
-func (c *Cache) incResident(vm mem.VMID) { c.resident[vm]++ }
+// counterIdx returns the counter-file slot for vm, growing the file on a
+// VM's first touch (new VMs appear rarely: VM creation, fault injection).
+func (c *Cache) counterIdx(vm mem.VMID) int {
+	i := mem.DenseVM(vm)
+	for i >= len(c.resident) {
+		c.resident = append(c.resident, 0)
+	}
+	return i
+}
+
+func (c *Cache) incResident(vm mem.VMID) { c.resident[c.counterIdx(vm)]++ }
 
 func (c *Cache) decResident(vm mem.VMID) {
-	c.resident[vm]--
-	n := c.resident[vm]
+	i := c.counterIdx(vm)
+	c.resident[i]--
+	n := c.resident[i]
 	if n < 0 {
 		if c.OnResidenceUnderflow == nil {
 			panic(fmt.Sprintf("cache %s: residence counter for VM %d underflowed", c.cfg.Name, vm))
 		}
 		c.RecountResidence()
-		n = c.resident[vm]
+		n = c.resident[i]
 		c.OnResidenceUnderflow(vm)
 	}
 	if n == 0 && c.OnResidenceZero != nil {
@@ -314,16 +334,16 @@ func (c *Cache) FlushVM(vm mem.VMID) []EvictInfo {
 // delta models a stuck count that delays map removal (performance-only, per
 // the paper's safety argument).
 func (c *Cache) CorruptResidence(vm mem.VMID, delta int) {
-	c.resident[vm] += delta
+	c.resident[c.counterIdx(vm)] += delta
 }
 
 // RecountResidence rebuilds every residence counter from the cache tags,
 // the recovery action after a detected counter fault.
 func (c *Cache) RecountResidence() {
-	for vm := range c.resident {
-		c.resident[vm] = 0
+	for i := range c.resident {
+		c.resident[i] = 0
 	}
-	c.ForEachValid(func(b *Block) { c.resident[b.VM]++ })
+	c.ForEachValid(func(b *Block) { c.resident[c.counterIdx(b.VM)]++ })
 }
 
 // ForEachValid calls fn for every valid block.

@@ -49,6 +49,40 @@ func BenchmarkRouteBroadcast(b *testing.B) {
 	}
 }
 
+// BenchmarkRouteCounterAug measures the level-1 degradation set: the vCPU
+// map OR'd with the residence-counter bits in the reusable scratch words.
+func BenchmarkRouteCounterAug(b *testing.B) {
+	f := benchFilter(PolicyCounter)
+	f.DegradationEnabled = true
+	f.SuspectVM(1, 1)
+	info := token.RouteInfo{VM: 1, Page: mem.PagePrivate, Requester: 4, CoreNode: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(f.Route(info)) != 3 {
+			b.Fatal("unexpected destination count")
+		}
+	}
+}
+
+// BenchmarkMapMembership measures the bit-vector register primitives the
+// hot paths lean on (Contains is a single word test, MapSize a popcount).
+func BenchmarkMapMembership(b *testing.B) {
+	f := benchFilter(PolicyBase)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		vm := mem.VMID(i & 3)
+		if f.Contains(vm, int(vm)*4) {
+			sink += f.MapSize(vm)
+		}
+	}
+	if sink == 0 {
+		b.Fatal("membership probes all missed")
+	}
+}
+
 func BenchmarkRelocationChurn(b *testing.B) {
 	f := benchFilter(PolicyCounter)
 	for i := 0; i < b.N; i++ {

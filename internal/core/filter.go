@@ -23,7 +23,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"math/bits"
 
 	"vsnoop/internal/cache"
 	"vsnoop/internal/mem"
@@ -87,23 +87,40 @@ type Config struct {
 
 // Filter is the virtual-snooping destination-set engine. It implements
 // token.Router.
+//
+// Per-VM core sets are stored exactly as the paper's hardware holds them
+// (Section IV.A): each VM's vCPU map is a bit-vector register with one bit
+// per physical core, kept here as words of a flat uint64 array indexed by
+// mem.DenseVM. Destination sets fall out of bitmask arithmetic (mask, or,
+// and-not, popcount) and bits enumerate in ascending core order, which is
+// the deterministic send order the simulator requires.
 type Filter struct {
 	cfg       Config
 	eng       *sim.Engine
 	coreNodes []mesh.NodeID // core index -> network endpoint
+	nw        int           // uint64 words per per-VM bit-vector
 
-	// canonical per-VM vCPU maps (core index sets)
-	maps map[mem.VMID]map[int]bool
-	// running[vm][core]: cores where a vCPU of vm is currently placed
-	running map[mem.VMID]map[int]bool
+	// mapBits holds the canonical per-VM vCPU map registers: nw words per
+	// dense VM id, bit c set when core c is in the VM's map.
+	mapBits []uint64
+	// runBits: bit c set when a vCPU of the VM currently runs on core c.
+	runBits []uint64
+	// pendBits/pendAt record departures awaiting counter-triggered removal
+	// (bit set + departure cycle), feeding the Figure 9 removal-period CDF.
+	pendBits []uint64
+	pendAt   []sim.Cycle // len(coreNodes) slots per dense VM id
+
+	// scratch is the reusable word buffer for counter-augmented sets.
+	scratch []uint64
+
+	// allBut[i] is the precomputed broadcast destination set excluding core
+	// i (exact capacity: appending to it always copies).
+	allBut [][]mesh.NodeID
+
 	// caches[i] is core i's L2, consulted for residence counters
 	caches []*cache.Cache
 
 	friends map[mem.VMID]mem.VMID
-
-	// pendingRemoval[vm][core] records when the VM's last vCPU left the
-	// core while data remained, for the Figure 9 removal-period CDF.
-	pendingRemoval map[mem.VMID]map[int]sim.Cycle
 
 	// RemovalPeriods collects cycles from vCPU departure until the core
 	// left the vCPU map (Figure 9).
@@ -158,15 +175,24 @@ func NewFilter(eng *sim.Engine, cfg Config, coreNodes []mesh.NodeID, caches []*c
 		cfg.Threshold = 10
 	}
 	f := &Filter{
-		cfg:            cfg,
-		eng:            eng,
-		coreNodes:      coreNodes,
-		maps:           make(map[mem.VMID]map[int]bool),
-		running:        make(map[mem.VMID]map[int]bool),
-		caches:         caches,
-		friends:        make(map[mem.VMID]mem.VMID),
-		pendingRemoval: make(map[mem.VMID]map[int]sim.Cycle),
-		suspects:       make(map[mem.VMID]*suspicion),
+		cfg:       cfg,
+		eng:       eng,
+		coreNodes: coreNodes,
+		nw:        (len(coreNodes) + 63) / 64,
+		scratch:   make([]uint64, (len(coreNodes)+63)/64),
+		caches:    caches,
+		friends:   make(map[mem.VMID]mem.VMID),
+		suspects:  make(map[mem.VMID]*suspicion),
+	}
+	f.allBut = make([][]mesh.NodeID, len(coreNodes))
+	for i := range coreNodes {
+		s := make([]mesh.NodeID, 0, len(coreNodes)-1)
+		for j, n := range coreNodes {
+			if j != i {
+				s = append(s, n)
+			}
+		}
+		f.allBut[i] = s
 	}
 	// Wire residence-counter callbacks.
 	switch cfg.Policy {
@@ -210,22 +236,58 @@ func (f *Filter) Config() Config { return f.cfg }
 // SetFriend records vm's friend VM for the friend-VM content policy.
 func (f *Filter) SetFriend(vm, friend mem.VMID) { f.friends[vm] = friend }
 
-func (f *Filter) mapOf(vm mem.VMID) map[int]bool {
-	m, ok := f.maps[vm]
-	if !ok {
-		m = make(map[int]bool)
-		f.maps[vm] = m
+// ensure grows the per-VM register files to cover vm and returns its
+// dense index. Growth happens only on a VM's first appearance.
+func (f *Filter) ensure(vm mem.VMID) int {
+	d := mem.DenseVM(vm)
+	for (d+1)*f.nw > len(f.mapBits) {
+		f.mapBits = append(f.mapBits, make([]uint64, f.nw)...)
+		f.runBits = append(f.runBits, make([]uint64, f.nw)...)
+		f.pendBits = append(f.pendBits, make([]uint64, f.nw)...)
+		f.pendAt = append(f.pendAt, make([]sim.Cycle, len(f.coreNodes))...)
 	}
-	return m
+	return d
 }
 
-func (f *Filter) runningOf(vm mem.VMID) map[int]bool {
-	m, ok := f.running[vm]
-	if !ok {
-		m = make(map[int]bool)
-		f.running[vm] = m
+// words returns vm's word-slice view of a register file, or nil when the
+// VM has never been seen (a read that must not grow the files).
+func (f *Filter) words(file []uint64, vm mem.VMID) []uint64 {
+	lo := mem.DenseVM(vm) * f.nw
+	if lo+f.nw > len(file) {
+		return nil
 	}
-	return m
+	return file[lo : lo+f.nw]
+}
+
+func testBit(w []uint64, c int) bool {
+	return w != nil && w[c>>6]&(1<<(uint(c)&63)) != 0
+}
+
+func setBit(w []uint64, c int)   { w[c>>6] |= 1 << (uint(c) & 63) }
+func clearBit(w []uint64, c int) { w[c>>6] &^= 1 << (uint(c) & 63) }
+
+func popcount(w []uint64) int {
+	n := 0
+	for _, x := range w {
+		n += bits.OnesCount64(x)
+	}
+	return n
+}
+
+// appendCores appends the endpoints of every set bit except requester, in
+// ascending core order (the deterministic send order).
+func (f *Filter) appendCores(out []mesh.NodeID, w []uint64, requester int) []mesh.NodeID {
+	for wi, word := range w {
+		base := wi << 6
+		for word != 0 {
+			c := base + bits.TrailingZeros64(word)
+			word &= word - 1
+			if c != requester {
+				out = append(out, f.coreNodes[c])
+			}
+		}
+	}
+	return out
 }
 
 // HandleRelocate is the hypervisor hook: vCPU v of a VM moved from core
@@ -233,19 +295,20 @@ func (f *Filter) runningOf(vm mem.VMID) map[int]bool {
 // core to the VM's map before the VM runs there; the old core stays until
 // a counter policy removes it.
 func (f *Filter) HandleRelocate(vm mem.VMID, from, to int) {
-	run := f.runningOf(vm)
+	d := f.ensure(vm)
+	run := f.runBits[d*f.nw : (d+1)*f.nw]
 	if from >= 0 {
-		delete(run, from)
+		clearBit(run, from)
 	}
-	run[to] = true
+	setBit(run, to)
 
-	m := f.mapOf(vm)
-	if !m[to] {
-		m[to] = true
+	m := f.mapBits[d*f.nw : (d+1)*f.nw]
+	if !testBit(m, to) {
+		setBit(m, to)
 		f.MapSyncs++
 	}
 
-	if from < 0 || run[from] {
+	if from < 0 || testBit(run, from) {
 		return
 	}
 	// The VM no longer runs on `from`. Under the counter policies, check
@@ -269,21 +332,17 @@ func (f *Filter) HandleRelocate(vm mem.VMID, from, to int) {
 			}
 			return
 		}
-		pr, ok := f.pendingRemoval[vm]
-		if !ok {
-			pr = make(map[int]sim.Cycle)
-			f.pendingRemoval[vm] = pr
-		}
-		pr[from] = f.eng.Now()
+		setBit(f.pendBits[d*f.nw:(d+1)*f.nw], from)
+		f.pendAt[d*len(f.coreNodes)+from] = f.eng.Now()
 	}
 }
 
 // tryRemove handles a residence-counter trigger at core for vm.
 func (f *Filter) tryRemove(vm mem.VMID, core int, count int) {
-	if f.runningOf(vm)[core] {
+	if testBit(f.words(f.runBits, vm), core) {
 		return // still running there: the core must stay in the map
 	}
-	if !f.mapOf(vm)[core] {
+	if !testBit(f.words(f.mapBits, vm), core) {
 		return
 	}
 	f.remove(vm, core)
@@ -292,7 +351,7 @@ func (f *Filter) tryRemove(vm mem.VMID, core int, count int) {
 // tryFlush handles a below-threshold trigger under PolicyCounterFlush:
 // flush the VM's remaining blocks from the departed core, then remove it.
 func (f *Filter) tryFlush(vm mem.VMID, core int, n int) {
-	if f.runningOf(vm)[core] || !f.mapOf(vm)[core] {
+	if testBit(f.words(f.runBits, vm), core) || !testBit(f.words(f.mapBits, vm), core) {
 		return
 	}
 	// Remove first: the flush below re-triggers residence callbacks for
@@ -305,17 +364,17 @@ func (f *Filter) tryFlush(vm mem.VMID, core int, n int) {
 }
 
 func (f *Filter) remove(vm mem.VMID, core int) {
-	m := f.mapOf(vm)
-	if !m[core] {
+	d := f.ensure(vm)
+	m := f.mapBits[d*f.nw : (d+1)*f.nw]
+	if !testBit(m, core) {
 		return
 	}
-	delete(m, core)
+	clearBit(m, core)
 	f.MapSyncs++
-	if pr := f.pendingRemoval[vm]; pr != nil {
-		if t0, ok := pr[core]; ok {
-			f.RemovalPeriods.Observe(float64(f.eng.Now() - t0))
-			delete(pr, core)
-		}
+	pend := f.pendBits[d*f.nw : (d+1)*f.nw]
+	if testBit(pend, core) {
+		f.RemovalPeriods.Observe(float64(f.eng.Now() - f.pendAt[d*len(f.coreNodes)+core]))
+		clearBit(pend, core)
 	}
 }
 
@@ -378,47 +437,54 @@ func (f *Filter) SuspicionLevel(vm mem.VMID) int {
 // holding only that core (a stale single entry); core < 0 clears it
 // entirely. MapSyncs is not incremented: hardware does not see soft errors.
 func (f *Filter) CorruptMap(vm mem.VMID, core int) {
-	m := make(map[int]bool)
-	if core >= 0 && core < len(f.coreNodes) {
-		m[core] = true
+	d := f.ensure(vm)
+	m := f.mapBits[d*f.nw : (d+1)*f.nw]
+	for i := range m {
+		m[i] = 0
 	}
-	f.maps[vm] = m
+	if core >= 0 && core < len(f.coreNodes) {
+		setBit(m, core)
+	}
 }
 
 // rebuildMap reconstructs vm's map from trustworthy state: the cores where
 // the VM currently runs plus every core whose cache still holds its data.
 func (f *Filter) rebuildMap(vm mem.VMID) {
-	m := make(map[int]bool)
-	for c := range f.runningOf(vm) {
-		m[c] = true
-	}
+	d := f.ensure(vm)
+	m := f.mapBits[d*f.nw : (d+1)*f.nw]
+	run := f.runBits[d*f.nw : (d+1)*f.nw]
+	copy(m, run)
 	if f.caches != nil {
 		for i, c := range f.caches {
 			if c != nil && c.Resident(vm) > 0 {
-				m[i] = true
+				setBit(m, i)
 			}
 		}
 	}
-	f.maps[vm] = m
 	f.MapRebuilds++
 }
 
 // MapCores returns the sorted cores in vm's vCPU map (for tests/stats).
 func (f *Filter) MapCores(vm mem.VMID) []int {
-	m := f.maps[vm]
-	out := make([]int, 0, len(m))
-	for c := range m {
-		out = append(out, c)
+	w := f.words(f.mapBits, vm)
+	out := make([]int, 0, popcount(w))
+	for wi, word := range w {
+		base := wi << 6
+		for word != 0 {
+			out = append(out, base+bits.TrailingZeros64(word))
+			word &= word - 1
+		}
 	}
-	sort.Ints(out)
 	return out
 }
 
 // MapSize returns the size of vm's vCPU map.
-func (f *Filter) MapSize(vm mem.VMID) int { return len(f.maps[vm]) }
+func (f *Filter) MapSize(vm mem.VMID) int { return popcount(f.words(f.mapBits, vm)) }
 
 // Contains reports whether core is in vm's map.
-func (f *Filter) Contains(vm mem.VMID, core int) bool { return f.maps[vm][core] }
+func (f *Filter) Contains(vm mem.VMID, core int) bool {
+	return testBit(f.words(f.mapBits, vm), core)
+}
 
 // Route implements token.Router: the destination set for one transaction
 // attempt, excluding the requester (which looks up its own cache anyway)
@@ -459,14 +525,11 @@ func (f *Filter) Route(info token.RouteInfo) []mesh.NodeID {
 	panic(fmt.Sprintf("core: unroutable request page=%v", info.Page))
 }
 
+// allExcept returns the broadcast destination set excluding the requester.
+// The returned slice is a shared precomputed set with exact capacity: callers
+// may read or append (append copies) but must never write in place.
 func (f *Filter) allExcept(requester int) []mesh.NodeID {
-	out := make([]mesh.NodeID, 0, len(f.coreNodes)-1)
-	for i, n := range f.coreNodes {
-		if i != requester {
-			out = append(out, n)
-		}
-	}
-	return out
+	return f.allBut[requester]
 }
 
 // domainExcept is the degradation-aware destination set for a VM's own
@@ -496,42 +559,36 @@ func (f *Filter) domainExcept(vm mem.VMID, requester int) []mesh.NodeID {
 // residence counter says it still holds the VM's data — the level-1
 // degradation set: cheap to compute, strictly safer than the map alone.
 func (f *Filter) counterAugExcept(vm mem.VMID, requester int) []mesh.NodeID {
-	cores := make(map[int]bool, len(f.maps[vm]))
-	for c := range f.maps[vm] {
-		cores[c] = true
+	w := f.scratch
+	for i := range w {
+		w[i] = 0
 	}
+	copy(w, f.words(f.mapBits, vm))
 	if f.caches != nil {
 		for i, c := range f.caches {
 			if c != nil && c.Resident(vm) > 0 {
-				cores[i] = true
+				setBit(w, i)
 			}
 		}
 	}
-	delete(cores, requester)
-	sorted := make([]int, 0, len(cores))
-	for c := range cores {
-		sorted = append(sorted, c)
+	n := popcount(w)
+	if testBit(w, requester) {
+		n--
 	}
-	sort.Ints(sorted)
-	out := make([]mesh.NodeID, len(sorted))
-	for i, c := range sorted {
-		out[i] = f.coreNodes[c]
-	}
-	return out
+	return f.appendCores(make([]mesh.NodeID, 0, n), w, requester)
 }
 
 func (f *Filter) mapExcept(vm mem.VMID, requester int) []mesh.NodeID {
-	m := f.maps[vm]
-	cores := make([]int, 0, len(m))
-	for c := range m {
-		if c != requester {
-			cores = append(cores, c)
-		}
+	w := f.words(f.mapBits, vm)
+	if w == nil {
+		return nil
 	}
-	sort.Ints(cores) // deterministic send order
-	out := make([]mesh.NodeID, len(cores))
-	for i, c := range cores {
-		out[i] = f.coreNodes[c]
+	n := popcount(w)
+	if testBit(w, requester) {
+		n--
 	}
-	return out
+	if n == 0 {
+		return nil
+	}
+	return f.appendCores(make([]mesh.NodeID, 0, n), w, requester)
 }

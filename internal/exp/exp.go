@@ -10,11 +10,9 @@
 package exp
 
 import (
-	"runtime"
-	"sync"
-
 	"vsnoop/internal/cache"
 	"vsnoop/internal/core"
+	"vsnoop/internal/runner"
 	"vsnoop/internal/system"
 )
 
@@ -140,30 +138,9 @@ func runMachine(cfg system.Config) *system.Stats {
 // sim.StepLimitError rather than silently truncating results).
 var MaxSteps uint64
 
-// parallel runs fn(i) for i in [0, n) on all CPUs and returns the results
-// in order. Machines are single-threaded and independent, so experiment
-// sweeps parallelize perfectly.
+// parallel runs fn(i) for i in [0, n) on a bounded worker pool and returns
+// the results in order. Machines are single-threaded and independent, so
+// experiment sweeps parallelize perfectly; see internal/runner for the pool.
 func parallel[T any](n int, fn func(i int) T) []T {
-	out := make([]T, n)
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				out[i] = fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return out
+	return runner.Map(0, n, fn)
 }

@@ -38,6 +38,31 @@ type VMID uint16
 // itself (not any guest).
 const Hypervisor VMID = 0xFFFF
 
+// reservedVMs is the number of sentinel VMIDs at the top of the VMID
+// space (0xFFFD..0xFFFF: dom0, spare, Hypervisor) that DenseVM folds to
+// the low indexes.
+const reservedVMs = 3
+
+// DenseVM maps a VMID onto a small dense array index: the reserved
+// sentinels fold to 0..2 and guest IDs shift up by 3. Hardware-register
+// models (residence counters, vCPU map registers) index flat arrays by
+// this value, so their footprint is proportional to the number of guest
+// VMs rather than the 16-bit VMID space.
+func DenseVM(vm VMID) int {
+	if vm >= 0xFFFD {
+		return int(vm) - 0xFFFD
+	}
+	return int(vm) + reservedVMs
+}
+
+// VMFromDense inverts DenseVM.
+func VMFromDense(i int) VMID {
+	if i < reservedVMs {
+		return VMID(0xFFFD + i)
+	}
+	return VMID(i - reservedVMs)
+}
+
 // GuestPage is a guest-physical page number within one VM.
 type GuestPage uint64
 

@@ -61,12 +61,19 @@ type Ctrl struct {
 
 	lines      map[mem.BlockAddr]*line
 	persistent map[mem.BlockAddr]*persistentEntry
+
+	// sendFn is the prebound event handler for delayed response sends
+	// (arg = boxed Msg, u = destination << 32 | bytes): zero-alloc arming.
+	sendFn sim.HandlerFn
 }
 
 // Init prepares internal state; call once after fields are set.
 func (m *Ctrl) Init() {
 	m.lines = make(map[mem.BlockAddr]*line)
 	m.persistent = make(map[mem.BlockAddr]*persistentEntry)
+	m.sendFn = func(arg interface{}, u uint64) {
+		m.Net.Send(m.Node, mesh.NodeID(u>>32), int(uint32(u)), arg)
+	}
 }
 
 func (m *Ctrl) line(a mem.BlockAddr) *line {
@@ -259,7 +266,7 @@ func (m *Ctrl) activate(p *persistentEntry, msg token.Msg) {
 	p.active = msg.Src
 	p.hasAct = true
 	m.Stats.Activations++
-	act := token.Msg{Kind: token.MsgPersistentActivate, Addr: msg.Addr, Src: msg.Src}
+	var act interface{} = token.Msg{Kind: token.MsgPersistentActivate, Addr: msg.Addr, Src: msg.Src}
 	for _, n := range m.AllCaches {
 		m.Net.Send(m.Node, n, m.P.CtrlBytes, act)
 	}
@@ -285,7 +292,7 @@ func (m *Ctrl) handleRelease(msg token.Msg) {
 	if !ok || !p.hasAct || p.active != msg.Src {
 		return // stale release
 	}
-	deact := token.Msg{Kind: token.MsgPersistentDeactivate, Addr: msg.Addr, Src: m.Node}
+	var deact interface{} = token.Msg{Kind: token.MsgPersistentDeactivate, Addr: msg.Addr, Src: m.Node}
 	for _, n := range m.AllCaches {
 		m.Net.Send(m.Node, n, m.P.CtrlBytes, deact)
 	}
@@ -305,7 +312,6 @@ func (m *Ctrl) send(dst mesh.NodeID, msg token.Msg, latency sim.Cycle, data bool
 	if data {
 		bytes = m.P.DataBytes
 	}
-	m.Eng.Schedule(latency, func() {
-		m.Net.Send(m.Node, dst, bytes, msg)
-	})
+	var payload interface{} = msg
+	m.Eng.ScheduleFn(latency, m.sendFn, payload, uint64(dst)<<32|uint64(uint32(bytes)))
 }

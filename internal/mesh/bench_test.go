@@ -44,6 +44,27 @@ func BenchmarkSendContention(b *testing.B) {
 	eng.Run()
 }
 
+// TestSendZeroAllocSteadyState gates the send path's allocation behaviour:
+// with the dense link tables and the prebound delivery handler, routing a
+// contended message end to end (XY walk, link reservation, delivery event)
+// must not allocate once the event heap has reached steady state.
+func TestSendZeroAllocSteadyState(t *testing.T) {
+	eng, net, ids := benchNet(true)
+	for i := 0; i < 1024; i++ {
+		net.Send(ids[i&15], ids[(i+7)&15], 72, nil)
+	}
+	eng.Run()
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			net.Send(ids[i&15], ids[(i+7)&15], 72, nil)
+		}
+		eng.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state Send allocates %.2f per 64-message batch, want 0", avg)
+	}
+}
+
 func BenchmarkBroadcast(b *testing.B) {
 	eng, net, ids := benchNet(true)
 	dests := ids[1:]

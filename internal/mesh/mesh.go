@@ -44,12 +44,15 @@ type node struct {
 	handler Handler
 }
 
-// link identifies a directed mesh link by its source router coordinates
-// and direction.
-type link struct {
-	x, y int
-	dir  uint8 // 0=east 1=west 2=north 3=south
-}
+// Directed link directions. A link is identified by its source router
+// coordinates and direction, flattened to a dense id by linkID so the
+// per-link tables are plain arrays instead of maps.
+const (
+	dirEast  = 0
+	dirWest  = 1
+	dirNorth = 2
+	dirSouth = 3
+)
 
 // FaultOutcome tells the network what the fault layer decided for one
 // injected message. The zero value means "deliver normally".
@@ -82,14 +85,22 @@ type Network struct {
 	eng   *sim.Engine
 	nodes []node
 
-	nextFree map[link]sim.Cycle
+	// nextFree[linkID] is the cycle at which a directed link next accepts a
+	// flit — a dense array indexed by linkID, sized 4 links per router.
+	nextFree []sim.Cycle
+
+	// deliver is the prebound delivery handler shared by every in-flight
+	// message (payload rides in the event's arg, the destination in u), so
+	// scheduling a delivery allocates nothing.
+	deliver sim.HandlerFn
 
 	// FaultHook, if set, is consulted on every Send (fault injection).
 	FaultHook FaultHook
 
-	// degraded maps a directed link to a serialization multiplier > 1
-	// (link degradation fault: the link accepts fewer bytes per cycle).
-	degraded map[link]int
+	// degraded[linkID] is a serialization multiplier > 1 when the link is
+	// degraded (link-width fault: fewer bytes accepted per cycle), 0
+	// otherwise.
+	degraded []int32
 
 	// Traffic statistics, flit-quantized: a message occupies whole flits
 	// of LinkBytesPerCycle bytes on every link it crosses (an 8-byte
@@ -105,7 +116,24 @@ func New(eng *sim.Engine, cfg Config) *Network {
 	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.LinkBytesPerCycle <= 0 {
 		panic("mesh: invalid config")
 	}
-	return &Network{cfg: cfg, eng: eng, nextFree: make(map[link]sim.Cycle)}
+	nLinks := cfg.Width * cfg.Height * 4
+	n := &Network{
+		cfg: cfg, eng: eng,
+		nextFree: make([]sim.Cycle, nLinks),
+		degraded: make([]int32, nLinks),
+	}
+	n.deliver = func(payload interface{}, dst uint64) {
+		if h := n.nodes[dst].handler; h != nil {
+			h(payload)
+		}
+	}
+	return n
+}
+
+// linkID flattens a directed link (source router x,y plus direction) to a
+// dense table index.
+func (n *Network) linkID(x, y, dir int) int {
+	return (y*n.cfg.Width+x)<<2 | dir
 }
 
 // Config returns the network configuration.
@@ -144,32 +172,6 @@ func abs(v int) int {
 		return -v
 	}
 	return v
-}
-
-// route enumerates the directed links an XY-routed message traverses.
-func (n *Network) route(src, dst NodeID) []link {
-	a, b := n.nodes[src], n.nodes[dst]
-	var out []link
-	x, y := a.x, a.y
-	for x != b.x {
-		if b.x > x {
-			out = append(out, link{x: x, y: y, dir: 0})
-			x++
-		} else {
-			out = append(out, link{x: x, y: y, dir: 1})
-			x--
-		}
-	}
-	for y != b.y {
-		if b.y > y {
-			out = append(out, link{x: x, y: y, dir: 3})
-			y++
-		} else {
-			out = append(out, link{x: x, y: y, dir: 2})
-			y--
-		}
-	}
-	return out
 }
 
 // serialization returns the cycles needed to push bytes through one link.
@@ -227,10 +229,27 @@ func (n *Network) transmit(src, dst NodeID, bytes int, payload interface{}, extr
 	if !n.cfg.Contention || hops == 0 {
 		arrive = n.eng.Now() + n.Latency(src, dst, bytes)
 	} else {
+		// Walk the XY route inline (X moves first, then Y), reserving each
+		// directed link in the dense nextFree table — no per-message route
+		// slice is materialized.
 		ser := n.serialization(bytes)
 		lastSer := ser
 		t := n.eng.Now() + n.cfg.RouterDelay // source injection pipeline
-		for _, l := range n.route(src, dst) {
+		a, b := n.nodes[src], n.nodes[dst]
+		x, y := a.x, a.y
+		for x != b.x || y != b.y {
+			var dir int
+			switch {
+			case b.x > x:
+				dir = dirEast
+			case b.x < x:
+				dir = dirWest
+			case b.y > y:
+				dir = dirSouth
+			default:
+				dir = dirNorth
+			}
+			l := n.linkID(x, y, dir)
 			serL := ser
 			if f := n.degraded[l]; f > 1 {
 				serL = ser * sim.Cycle(f)
@@ -242,16 +261,21 @@ func (n *Network) transmit(src, dst NodeID, bytes int, payload interface{}, extr
 			n.nextFree[l] = start + serL
 			t = start + n.cfg.LinkDelay + n.cfg.RouterDelay
 			lastSer = serL
+			switch dir {
+			case dirEast:
+				x++
+			case dirWest:
+				x--
+			case dirSouth:
+				y++
+			default:
+				y--
+			}
 		}
 		arrive = t + lastSer - 1
 	}
 	arrive += extra
-	h := n.nodes[dst].handler
-	n.eng.ScheduleAt(arrive, func() {
-		if h != nil {
-			h(payload)
-		}
-	})
+	n.eng.ScheduleFnAt(arrive, n.deliver, payload, uint64(dst))
 }
 
 // DegradeLinks marks count randomly chosen directed links as degraded: their
@@ -263,31 +287,28 @@ func (n *Network) DegradeLinks(count, factor int, rng *sim.Rand) int {
 	if count <= 0 || factor <= 1 {
 		return 0
 	}
-	var all []link
+	var all []int
 	for y := 0; y < n.cfg.Height; y++ {
 		for x := 0; x < n.cfg.Width; x++ {
 			if x+1 < n.cfg.Width {
-				all = append(all, link{x: x, y: y, dir: 0}) // east
+				all = append(all, n.linkID(x, y, dirEast))
 			}
 			if x > 0 {
-				all = append(all, link{x: x, y: y, dir: 1}) // west
+				all = append(all, n.linkID(x, y, dirWest))
 			}
 			if y > 0 {
-				all = append(all, link{x: x, y: y, dir: 2}) // north
+				all = append(all, n.linkID(x, y, dirNorth))
 			}
 			if y+1 < n.cfg.Height {
-				all = append(all, link{x: x, y: y, dir: 3}) // south
+				all = append(all, n.linkID(x, y, dirSouth))
 			}
 		}
 	}
 	if count > len(all) {
 		count = len(all)
 	}
-	if n.degraded == nil {
-		n.degraded = make(map[link]int)
-	}
 	for _, i := range rng.Perm(len(all))[:count] {
-		n.degraded[all[i]] = factor
+		n.degraded[all[i]] = int32(factor)
 	}
 	return count
 }

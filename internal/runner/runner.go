@@ -1,0 +1,110 @@
+// Package runner is the shared worker-pool harness for experiment sweeps:
+// a bounded pool of goroutines executes independent jobs (each a complete,
+// single-threaded simulation) and hands results back in deterministic job
+// order, so parallel sweeps emit byte-identical output to serial ones.
+//
+// Two shapes are provided. Map collects every result before returning
+// (experiment tables that post-process the whole set). Stream delivers each
+// result to a callback as soon as it is ready *and* in order — a reorder
+// buffer holds out-of-order completions — so long sweeps print rows
+// incrementally without sacrificing output determinism.
+package runner
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers clamps a requested worker count: n <= 0 selects GOMAXPROCS
+// (bounded parallelism that saturates the machine without oversubscribing
+// it), and the count never exceeds the job count.
+func Workers(requested, jobs int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Map runs fn(i) for i in [0, n) on at most workers goroutines
+// (workers <= 0 selects GOMAXPROCS) and returns the results indexed by i.
+// fn must be safe to call concurrently from distinct goroutines; each call
+// sees a distinct i.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	if n == 0 {
+		return out
+	}
+	w := Workers(workers, n)
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// Stream runs fn(i) for i in [0, n) on at most workers goroutines and
+// invokes emit(i, result) exactly once per job, in strictly ascending i —
+// regardless of completion order. emit runs on a worker goroutine but never
+// concurrently with itself, so it may write to shared output unsynchronized.
+// Completed out-of-order results wait in a reorder buffer bounded by the
+// worker count.
+func Stream[T any](workers, n int, fn func(i int) T, emit func(i int, v T)) {
+	if n == 0 {
+		return
+	}
+	w := Workers(workers, n)
+	var (
+		mu      sync.Mutex
+		ready   = make(map[int]T, w)
+		nextOut = 0
+	)
+	deliver := func(i int, v T) {
+		mu.Lock()
+		ready[i] = v
+		for {
+			r, ok := ready[nextOut]
+			if !ok {
+				break
+			}
+			delete(ready, nextOut)
+			emit(nextOut, r)
+			nextOut++
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				deliver(i, fn(i))
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,106 @@
+package runner
+
+import (
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdered(t *testing.T) {
+	got := Map(4, 100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	if got := Map(4, 0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestMapDefaultWorkers(t *testing.T) {
+	// workers <= 0 must still complete all jobs (GOMAXPROCS pool).
+	got := Map(0, 37, func(i int) int { return i + 1 })
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	var active, peak int64
+	Map(3, 64, func(i int) int {
+		a := atomic.AddInt64(&active, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if a <= p || atomic.CompareAndSwapInt64(&peak, p, a) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt64(&active, -1)
+		return i
+	})
+	if peak > 3 {
+		t.Fatalf("peak concurrency %d exceeds 3 workers", peak)
+	}
+}
+
+func TestStreamEmitsInOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	delays := make([]time.Duration, 50)
+	for i := range delays {
+		delays[i] = time.Duration(rng.Intn(3)) * time.Millisecond
+	}
+	var emitted []int
+	Stream(8, len(delays), func(i int) int {
+		time.Sleep(delays[i]) // force out-of-order completion
+		return i * 10
+	}, func(i, v int) {
+		if v != i*10 {
+			t.Errorf("emit(%d) got %d", i, v)
+		}
+		emitted = append(emitted, i)
+	})
+	if len(emitted) != len(delays) {
+		t.Fatalf("emitted %d of %d", len(emitted), len(delays))
+	}
+	for i, e := range emitted {
+		if e != i {
+			t.Fatalf("emission order broken at %d: %v", i, emitted[:i+1])
+		}
+	}
+}
+
+func TestStreamMatchesMap(t *testing.T) {
+	fn := func(i int) int { return i*i + 7 }
+	want := Map(4, 200, fn)
+	got := make([]int, 0, 200)
+	Stream(4, 200, fn, func(_ int, v int) { got = append(got, v) })
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stream[%d] = %d, map[%d] = %d", i, got[i], i, want[i])
+		}
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	if w := Workers(0, 100); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0,100) = %d", w)
+	}
+	if w := Workers(8, 3); w != 3 {
+		t.Fatalf("Workers(8,3) = %d", w)
+	}
+	if w := Workers(-1, 0); w != 1 {
+		t.Fatalf("Workers(-1,0) = %d", w)
+	}
+	if w := Workers(5, 100); w != 5 {
+		t.Fatalf("Workers(5,100) = %d", w)
+	}
+}

@@ -13,6 +13,19 @@ func BenchmarkScheduleAndFire(b *testing.B) {
 	e.Run()
 }
 
+func BenchmarkScheduleFnAndFire(b *testing.B) {
+	e := NewEngine()
+	fn := func(interface{}, uint64) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ScheduleFn(Cycle(i&1023), fn, nil, uint64(i))
+		if e.Pending() > 8192 {
+			e.Run()
+		}
+	}
+	e.Run()
+}
+
 func BenchmarkRandUint64(b *testing.B) {
 	r := NewRand(1)
 	var sink uint64

@@ -10,44 +10,46 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 )
 
 // Cycle is a point in simulated time, measured in clock cycles.
 type Cycle uint64
 
-// Event is a closure scheduled to run at a particular cycle.
+// HandlerFn is the prebound-handler form of an event: a function created
+// once (at component construction) whose per-event state rides in the
+// event itself as (arg, u). Scheduling one allocates nothing.
+type HandlerFn func(arg interface{}, u uint64)
+
+// event is one queue entry. Exactly one of fn / fn2 is set: fn is the
+// closure form (allocates a closure at the call site), fn2 the prebound
+// form (zero-alloc). Events live inline in the heap slice — there is no
+// per-event heap object and no interface boxing on push or pop.
 type event struct {
 	at  Cycle
 	seq uint64 // tie-breaker: schedule order within a cycle
 	fn  func()
+	fn2 HandlerFn
+	arg interface{}
+	u   uint64
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before is the strict total order on events: cycle, then schedule order.
+func (e *event) before(o *event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return e.seq < o.seq
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
+// The queue is a concrete-typed 4-ary min-heap: shallower than a binary
+// heap (fewer cache lines touched per sift) and free of the interface{}
+// boxing container/heap imposes on every push and pop.
 type Engine struct {
 	now    Cycle
 	seq    uint64
-	events eventHeap
+	events []event
 	fired  uint64
 
 	// No-forward-progress watchdog: when progressLimit > 0, StepChecked
@@ -82,7 +84,78 @@ func (e *Engine) ScheduleAt(at Cycle, fn func()) {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: at, seq: e.seq, fn: fn})
+	e.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// ScheduleFn runs fn(arg, u) after delay cycles. It is the zero-alloc
+// fast path for hot schedulers: fn is prebound once at construction time
+// and the per-event state travels in (arg, u), so nothing escapes to the
+// heap (arg should be nil, an already-boxed interface value, or a
+// pointer; u packs any scalar state).
+func (e *Engine) ScheduleFn(delay Cycle, fn HandlerFn, arg interface{}, u uint64) {
+	e.ScheduleFnAt(e.now+delay, fn, arg, u)
+}
+
+// ScheduleFnAt is ScheduleFn with an absolute cycle, which must not be in
+// the past.
+func (e *Engine) ScheduleFnAt(at Cycle, fn HandlerFn, arg interface{}, u uint64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	e.seq++
+	e.push(event{at: at, seq: e.seq, fn2: fn, arg: arg, u: u})
+}
+
+// push inserts ev into the 4-ary heap (sift-up).
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	h := e.events
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !h[i].before(&h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum event (sift-down with a hole).
+func (e *Engine) pop() event {
+	h := e.events
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{} // release fn/arg references held by the backing array
+	h = h[:n]
+	e.events = h
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if h[j].before(&h[m]) {
+					m = j
+				}
+			}
+			if !h[m].before(&last) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return root
 }
 
 // Step executes the next event, advancing the clock to its cycle. It
@@ -91,10 +164,14 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.fired++
-	ev.fn()
+	if ev.fn2 != nil {
+		ev.fn2(ev.arg, ev.u)
+	} else {
+		ev.fn()
+	}
 	return true
 }
 

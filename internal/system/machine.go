@@ -61,6 +61,10 @@ type vcpu struct {
 	gen      RefSource
 	left     int // references remaining
 	executed int // references issued so far (for warmup accounting)
+	// pending holds the reference being replayed across a delayed resumption
+	// (TLB walk, COW trap). A vCPU's stream is strictly sequential, so at
+	// most one resumption is ever outstanding.
+	pending workload.Ref
 }
 
 // Machine is a fully wired simulated system.
@@ -98,6 +102,12 @@ type Machine struct {
 	liveVCPUs int
 	warmLeft  int  // vCPUs still inside the warmup phase
 	warmed    bool // statistics snapshot taken
+
+	// stepFn/resumeFn are the prebound event handlers for the two hottest
+	// schedulers (per-reference think-time step, delayed reference
+	// resumption); the vCPU rides in the event's arg, so neither allocates.
+	stepFn   sim.HandlerFn
+	resumeFn sim.HandlerFn
 }
 
 // New builds a machine from cfg; it returns an error on invalid
@@ -107,6 +117,11 @@ func New(cfg Config) (*Machine, error) {
 		return nil, err
 	}
 	m := &Machine{cfg: cfg, Eng: sim.NewEngine(), node2i: make(map[mesh.NodeID]int)}
+	m.stepFn = func(arg interface{}, _ uint64) { m.step(arg.(*vcpu)) }
+	m.resumeFn = func(arg interface{}, _ uint64) {
+		v := arg.(*vcpu)
+		m.issueRef(v, v.pending)
+	}
 	m.Net = mesh.New(m.Eng, cfg.Mesh)
 	m.MM = mem.NewManager(cfg.HvPages)
 	m.Mapper = hv.NewMapper(cfg.Cores)
@@ -453,8 +468,7 @@ func (m *Machine) RunChecked() (*Stats, error) {
 		m.warmed = true
 	}
 	for i, v := range m.vcpus {
-		v := v
-		m.Eng.Schedule(sim.Cycle(i), func() { m.step(v) })
+		m.Eng.ScheduleFn(sim.Cycle(i), m.stepFn, v, 0)
 	}
 	err := m.runUntilDone()
 	if err == nil && m.Checker != nil {
@@ -556,7 +570,8 @@ func (m *Machine) execute(v *vcpu, cn *coreNode, ref workload.Ref) {
 			for _, c := range m.cores {
 				c.tlb.Shootdown(v.id.VM, ref.Page)
 			}
-			m.Eng.Schedule(cfg.CowLatency, func() { m.issueRef(v, ref) })
+			v.pending = ref
+			m.Eng.ScheduleFn(cfg.CowLatency, m.resumeFn, v, 0)
 			return
 		}
 		host, ptype, tagVM = tr.Host, tr.Type, v.id.VM
@@ -571,7 +586,8 @@ func (m *Machine) execute(v *vcpu, cn *coreNode, ref workload.Ref) {
 		// Pay the page walk, then re-run the access with a warm TLB
 		// (re-entering through the occupancy check: the core may have been
 		// claimed, or the vCPU relocated, during the walk).
-		m.Eng.Schedule(walk, func() { m.issueRef(v, ref) })
+		v.pending = ref
+		m.Eng.ScheduleFn(walk, m.resumeFn, v, 0)
 		return
 	}
 
@@ -639,7 +655,7 @@ func (m *Machine) l1Fill(cn *coreNode, addr mem.BlockAddr, vm mem.VMID, write bo
 
 // finish schedules the vCPU's next reference after latency + think time.
 func (m *Machine) finish(v *vcpu, latency sim.Cycle) {
-	m.Eng.Schedule(latency+m.cfg.ThinkCycles, func() { m.step(v) })
+	m.Eng.ScheduleFn(latency+m.cfg.ThinkCycles, m.stepFn, v, 0)
 }
 
 // L2 exposes core i's L2 cache (tests and invariant checks).

@@ -78,8 +78,15 @@ type CacheCtrl struct {
 	OnFill func(b *cache.Block, t *Txn)
 
 	cur        *Txn
+	txn        Txn // backing storage for cur: cores are blocking, so one suffices
 	tidSeq     uint64
 	persistent map[mem.BlockAddr]mesh.NodeID
+
+	// sendFn/timeoutFn are the prebound event handlers for the two hot
+	// schedulers (delayed response send, retry timeout), created once in
+	// Init so arming them allocates nothing.
+	sendFn    sim.HandlerFn
+	timeoutFn sim.HandlerFn
 }
 
 // Init prepares internal state; call once after the fields are set.
@@ -87,6 +94,18 @@ func (c *CacheCtrl) Init() {
 	c.persistent = make(map[mem.BlockAddr]mesh.NodeID)
 	if c.Rng == nil {
 		c.Rng = sim.NewRandTagged(0xC0DE, fmt.Sprintf("ctrl%d", c.Core))
+	}
+	// u packs (destination << 32 | bytes); the already-boxed Msg rides in arg.
+	c.sendFn = func(arg interface{}, u uint64) {
+		c.Net.Send(c.Node, mesh.NodeID(u>>32), int(uint32(u)), arg)
+	}
+	// u is the TID the timeout was armed for.
+	c.timeoutFn = func(_ interface{}, u uint64) {
+		if c.cur == nil || c.cur.TID != u || c.cur.completed {
+			return
+		}
+		c.Stats.Retries++
+		c.issueAttempt()
 	}
 }
 
@@ -116,7 +135,8 @@ func (c *CacheCtrl) Start(addr mem.BlockAddr, vm mem.VMID, page mem.PageType, wr
 	if c.cur != nil {
 		panic(fmt.Sprintf("token: core %d started txn while busy", c.Core))
 	}
-	t := &Txn{Addr: addr, VM: vm, Page: page, Write: write, done: done, Issued: c.Eng.Now()}
+	c.txn = Txn{Addr: addr, VM: vm, Page: page, Write: write, done: done, Issued: c.Eng.Now()}
+	t := &c.txn
 	c.cur = t
 	c.Stats.Transactions++
 	if b := c.L2.Lookup(addr); b != nil && b.Tokens >= 1 {
@@ -165,18 +185,19 @@ func (c *CacheCtrl) issueAttempt() {
 	if t.Write {
 		kind = MsgGetX
 	}
-	msg := Msg{Kind: kind, Addr: t.Addr, Src: c.Node, VM: t.VM, Page: t.Page,
-		TID: t.TID, Dests: dests, Write: t.Write}
+	// Box the request Msg into an interface value once; every unicast of the
+	// multicast shares it (payloads are read-only by protocol convention).
+	var payload interface{} = Msg{Kind: kind, Addr: t.Addr, Src: c.Node, VM: t.VM,
+		Page: t.Page, TID: t.TID, Dests: dests, Write: t.Write}
 	for _, d := range dests {
-		c.Net.Send(c.Node, d, c.P.CtrlBytes, msg)
+		c.Net.Send(c.Node, d, c.P.CtrlBytes, payload)
 	}
-	c.Net.Send(c.Node, c.HomeMC(t.Addr), c.P.CtrlBytes, msg)
+	c.Net.Send(c.Node, c.HomeMC(t.Addr), c.P.CtrlBytes, payload)
 
 	c.armTimeout(t)
 }
 
 func (c *CacheCtrl) armTimeout(t *Txn) {
-	tid := t.TID
 	// Exponential backoff: attempt k waits base*2^(k-1), capped, so that a
 	// loss storm doesn't re-synchronize every loser onto the same retry
 	// cycle. Attempt 1 waits exactly TimeoutBase (fault-free timing is
@@ -198,13 +219,7 @@ func (c *CacheCtrl) armTimeout(t *Txn) {
 	if c.P.TimeoutJitter > 0 {
 		wait += sim.Cycle(c.Rng.Intn(c.P.TimeoutJitter)) * sim.Cycle(t.Attempt)
 	}
-	c.Eng.Schedule(wait, func() {
-		if c.cur == nil || c.cur.TID != tid || c.cur.completed {
-			return
-		}
-		c.Stats.Retries++
-		c.issueAttempt()
-	})
+	c.Eng.ScheduleFn(wait, c.timeoutFn, nil, t.TID)
 }
 
 func (c *CacheCtrl) activatePersistent(t *Txn) {
@@ -302,9 +317,8 @@ func (c *CacheCtrl) respond(dst mesh.NodeID, msg Msg) {
 	if msg.Data {
 		bytes = c.P.DataBytes
 	}
-	c.Eng.Schedule(c.P.L2Latency, func() {
-		c.Net.Send(c.Node, dst, bytes, msg)
-	})
+	var payload interface{} = msg
+	c.Eng.ScheduleFn(c.P.L2Latency, c.sendFn, payload, uint64(dst)<<32|uint64(uint32(bytes)))
 }
 
 // handleResponse accumulates arriving tokens/data into the outstanding

@@ -1,0 +1,65 @@
+package vsnoop
+
+import (
+	"fmt"
+	"testing"
+
+	"vsnoop/internal/runner"
+)
+
+// TestParallelSweepMatchesSerial drives the vsnoop-sweep harness shape — a
+// job list executed through runner.Stream — once with a single worker and
+// once with several, and requires the emitted rows to match exactly. This is
+// the end-to-end determinism guarantee for parallel sweeps: worker count
+// must never change output, only wall-clock time.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	var cfgs []Config
+	for _, app := range []string{"fft", "ocean"} {
+		for _, period := range []float64{0, 2.5} {
+			for _, pol := range []Policy{PolicyBroadcast, PolicyCounter} {
+				cfg := DefaultConfig()
+				cfg.Workload = app
+				cfg.Policy = pol
+				cfg.RefsPerVCPU = 1200
+				cfg.WarmupRefs = 200
+				cfg.MigrationPeriodMs = period
+				cfg.CyclesPerMs = 12000
+				cfg.Seed = 2
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+
+	row := func(cfg Config) string {
+		res, err := Run(cfg)
+		if err != nil {
+			t.Errorf("%s/%s: %v", cfg.Workload, cfg.Policy, err)
+			return "error"
+		}
+		return fmt.Sprintf("%s,%g,%s,%.3f,%d,%d,%d",
+			cfg.Workload, cfg.MigrationPeriodMs, cfg.Policy,
+			res.SnoopsPerTransaction, res.TrafficByteHops,
+			res.ExecCycles, res.Relocations)
+	}
+
+	sweep := func(workers int) []string {
+		rows := make([]string, 0, len(cfgs))
+		runner.Stream(workers, len(cfgs), func(i int) string {
+			return row(cfgs[i])
+		}, func(_ int, r string) {
+			rows = append(rows, r)
+		})
+		return rows
+	}
+
+	serial := sweep(1)
+	parallel := sweep(4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("row %d differs:\nserial:   %s\nparallel: %s", i, serial[i], parallel[i])
+		}
+	}
+}

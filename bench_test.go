@@ -207,10 +207,23 @@ func BenchmarkTable6(b *testing.B) {
 // fft run per iteration, useful for performance regressions of the
 // simulation engine itself.
 func BenchmarkSingleRun(b *testing.B) {
+	benchmarkSingleRun(b, 0)
+}
+
+// BenchmarkSingleRunShards1 and BenchmarkSingleRunShards4 bracket the
+// shard-parallel engine's scaling curve on the same run: K=1 is the serial
+// fast path (gated in CI to stay within 5% of BenchmarkSingleRun), K=4 is
+// one goroutine per snoop-domain quadrant. All three produce bit-identical
+// statistics.
+func BenchmarkSingleRunShards1(b *testing.B) { benchmarkSingleRun(b, 1) }
+func BenchmarkSingleRunShards4(b *testing.B) { benchmarkSingleRun(b, 4) }
+
+func benchmarkSingleRun(b *testing.B, shards int) {
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig()
 		cfg.RefsPerVCPU = 2000
 		cfg.WarmupRefs = 0
+		cfg.Shards = shards
 		if _, err := Run(cfg); err != nil {
 			b.Fatal(err)
 		}

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"vsnoop"
 	"vsnoop/internal/exp"
 	"vsnoop/internal/report"
 )
@@ -21,8 +22,10 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "run scale: quick or full")
 	expFlag := flag.String("exp", "all", "experiment to run (comma-separated): all, fig1, fig2, fig3, table1, table4, fig6, fig78, fig9, table5, fig10, table6, ablations, energy, comparison")
 	maxSteps := flag.Uint64("max-steps", 0, "abort any single run after this many simulation events (0 = unbounded)")
+	shards := flag.Int("shards", 0, "parallel event-queue shards per run (0 or 1 = serial; results are bit-identical)")
 	flag.Parse()
 	exp.MaxSteps = *maxSteps
+	exp.Shards = *shards
 
 	var sc exp.Scale
 	switch *scaleFlag {
@@ -100,5 +103,8 @@ func main() {
 			report.Table6(w, t6)
 		}
 	}
-	fmt.Fprintf(w, "\ncompleted in %s\n", time.Since(start).Round(time.Millisecond))
+	wall := time.Since(start)
+	ev := vsnoop.TotalEventsFired()
+	fmt.Fprintf(w, "\ncompleted in %s — %d events (%.0f events/sec)\n",
+		wall.Round(time.Millisecond), ev, float64(ev)/wall.Seconds())
 }

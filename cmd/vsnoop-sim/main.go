@@ -13,6 +13,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"vsnoop"
 	"vsnoop/internal/prof"
@@ -37,6 +38,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "run seed")
 	list := flag.Bool("list", false, "list workloads and exit")
 	check := flag.Bool("check", false, "enable online coherence invariant checking")
+	shards := flag.Int("shards", 0, "parallel event-queue shards (0 or 1 = serial; results are bit-identical)")
 	maxSteps := flag.Uint64("max-steps", 0, "abort after this many simulation events (0 = unbounded)")
 	faultSeed := flag.Uint64("fault-seed", 0, "fault plan seed (mixed with -seed)")
 	faultDrop := flag.Float64("fault-drop", 0, "percent of transient requests destroyed (responses bounced home)")
@@ -103,6 +105,7 @@ func main() {
 	cfg.Threshold = *threshold
 	cfg.Seed = *seed
 	cfg.Checks = *check
+	cfg.Shards = *shards
 	cfg.MaxSteps = *maxSteps
 
 	plan := &vsnoop.FaultPlan{
@@ -143,7 +146,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	start := time.Now()
 	res, err := vsnoop.Run(cfg)
+	wall := time.Since(start)
 	profiles.Stop()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -178,6 +183,9 @@ func main() {
 	if cfg.Fault != nil || cfg.Checks {
 		report.Robustness(os.Stdout, st)
 	}
+	fmt.Printf("\n%d events in %s (%.0f events/sec, shards=%d)\n",
+		res.EventsFired, wall.Round(time.Millisecond),
+		float64(res.EventsFired)/wall.Seconds(), *shards)
 }
 
 // parseEvent parses an n-field comma-separated integer flag value.

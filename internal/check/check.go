@@ -104,6 +104,11 @@ type Invariant struct {
 type Checker struct {
 	Eng    *sim.Engine
 	Period sim.Cycle // check interval (cycles)
+	// Now, if set, supplies the simulated time stamped on violations
+	// instead of Eng.Now(). Sharded runs drive the checker externally (at
+	// window boundaries, where every shard is quiesced) and have no single
+	// engine whose clock is authoritative.
+	Now func() sim.Cycle
 	// MaxViolations caps the recorded list (0 = 16); checking continues so
 	// Checks keeps counting, but further text is suppressed.
 	MaxViolations int
@@ -169,8 +174,14 @@ func (c *Checker) record(name, v string) {
 		max = 16
 	}
 	if len(c.Violations) < max {
+		now := sim.Cycle(0)
+		if c.Now != nil {
+			now = c.Now()
+		} else if c.Eng != nil {
+			now = c.Eng.Now()
+		}
 		c.Violations = append(c.Violations,
-			fmt.Sprintf("[%d] %s: %s", c.Eng.Now(), name, v))
+			fmt.Sprintf("[%d] %s: %s", now, name, v))
 	}
 }
 
@@ -227,9 +238,11 @@ func sortedAddrs(m map[mem.BlockAddr]bool) []mem.BlockAddr {
 
 // TokenConservation builds the conservation invariant: every block's
 // tokens across caches, its home memory controller, and the in-flight
-// ledger sum to total, with exactly one owner token. home interleaving is
-// addr mod len(mcs), matching the cache controllers.
-func TokenConservation(total int, l2s []*cache.Cache, mcs []*memctrl.Ctrl, led *Ledger) Invariant {
+// ledgers sum to total, with exactly one owner token. home interleaving is
+// addr mod len(mcs), matching the cache controllers. Several ledgers may
+// be passed (sharded runs keep one per domain so custody observations stay
+// shard-local); their per-block balances are summed.
+func TokenConservation(total int, l2s []*cache.Cache, mcs []*memctrl.Ctrl, leds ...*Ledger) Invariant {
 	check := func() []string {
 		acc := sumCaches(l2s)
 		universe := make(map[mem.BlockAddr]bool, len(acc))
@@ -239,8 +252,10 @@ func TokenConservation(total int, l2s []*cache.Cache, mcs []*memctrl.Ctrl, led *
 		for _, mc := range mcs {
 			mc.ForEachLine(func(a mem.BlockAddr, _ int, _ bool) { universe[a] = true })
 		}
-		for a := range led.inflight {
-			universe[a] = true
+		for _, led := range leds {
+			for a := range led.inflight {
+				universe[a] = true
+			}
 		}
 		var out []string
 		for _, a := range sortedAddrs(universe) {
@@ -254,7 +269,12 @@ func TokenConservation(total int, l2s []*cache.Cache, mcs []*memctrl.Ctrl, led *
 				// Reset state: memory holds everything.
 				mTok, mOwn = total, true
 			}
-			fTok, fOwn := led.Inflight(a)
+			fTok, fOwn := 0, 0
+			for _, led := range leds {
+				lt, lo := led.Inflight(a)
+				fTok += lt
+				fOwn += lo
+			}
 			sum := cTok + mTok + fTok
 			owners := cOwn + fOwn
 			if mOwn {
@@ -308,8 +328,9 @@ func SingleWriter(total int, l2s []*cache.Cache) Invariant {
 // TxnCompletion builds the liveness invariant: no controller's outstanding
 // transaction may be older than maxAge cycles (snoop-domain safety — a
 // wrong destination set must still complete via retries or the persistent
-// path, only slower).
-func TxnCompletion(eng *sim.Engine, ctrls []*token.CacheCtrl, maxAge sim.Cycle) Invariant {
+// path, only slower). now supplies the current simulated time (an engine's
+// Now method serially, the window clock in sharded runs).
+func TxnCompletion(now func() sim.Cycle, ctrls []*token.CacheCtrl, maxAge sim.Cycle) Invariant {
 	check := func() []string {
 		var out []string
 		for i, ctrl := range ctrls {
@@ -320,7 +341,7 @@ func TxnCompletion(eng *sim.Engine, ctrls []*token.CacheCtrl, maxAge sim.Cycle) 
 			if !ok {
 				continue
 			}
-			if age := eng.Now() - issued; age > maxAge {
+			if age := now() - issued; age > maxAge {
 				out = append(out, fmt.Sprintf(
 					"core %d: transaction on block %d outstanding %d cycles (attempt %d, limit %d)",
 					i, addr, age, attempt, maxAge))

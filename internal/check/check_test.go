@@ -217,7 +217,7 @@ func TestTxnCompletionFlagsStuckTransaction(t *testing.T) {
 	r := newRig(t, 4, true) // black hole: requests route nowhere, MC is deaf
 	r.ctrls[0].Start(100, 1, mem.PagePrivate, false, func() {})
 	r.eng.RunUntil(20000)
-	inv := check.TxnCompletion(r.eng, r.ctrls, 5000)
+	inv := check.TxnCompletion(r.eng.Now, r.ctrls, 5000)
 	v := inv.Check()
 	if len(v) == 0 {
 		t.Fatal("stuck transaction not flagged")

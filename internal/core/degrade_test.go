@@ -17,7 +17,7 @@ func TestDegradationDisabledByDefault(t *testing.T) {
 	if got := len(route(f, 1, mem.PagePrivate, 0)); got != 3 {
 		t.Fatalf("route size %d, want plain map (3)", got)
 	}
-	if f.FallbackBroadcast != 0 || f.FallbackCounterAug != 0 || f.Underflows != 0 {
+	if f.FallbackBroadcast() != 0 || f.FallbackCounterAug() != 0 || f.Underflows() != 0 {
 		t.Fatal("degradation counters moved while disabled")
 	}
 }
@@ -37,7 +37,7 @@ func TestLevel1UsesCounterAugmentedMap(t *testing.T) {
 	if got := len(dsts); got != 4 { // cores 1,2,3 + resident core 7
 		t.Fatalf("counter-augmented route size %d, want 4 (%v)", got, dsts)
 	}
-	if f.FallbackCounterAug == 0 {
+	if f.FallbackCounterAug() == 0 {
 		t.Fatal("FallbackCounterAug not counted")
 	}
 }
@@ -61,7 +61,7 @@ func TestLevel2BroadcastsAndRebuilds(t *testing.T) {
 	if got := len(route(f, 1, mem.PagePrivate, 0)); got != 15 {
 		t.Fatalf("level-2 route size %d, want broadcast (15)", got)
 	}
-	if f.FallbackBroadcast == 0 || f.MapRebuilds == 0 {
+	if f.FallbackBroadcast() == 0 || f.MapRebuilds() == 0 {
 		t.Fatal("broadcast fallback / rebuild not counted")
 	}
 	// The rebuilt map holds the running cores plus resident core 7.
@@ -85,8 +85,8 @@ func TestUnderflowForcesLevel2(t *testing.T) {
 	if f.SuspicionLevel(2) != 2 {
 		t.Fatalf("suspicion level %d after underflow, want 2", f.SuspicionLevel(2))
 	}
-	if f.Underflows != 1 {
-		t.Fatalf("Underflows = %d, want 1", f.Underflows)
+	if f.Underflows() != 1 {
+		t.Fatalf("Underflows = %d, want 1", f.Underflows())
 	}
 }
 

@@ -110,9 +110,6 @@ type Filter struct {
 	pendBits []uint64
 	pendAt   []sim.Cycle // len(coreNodes) slots per dense VM id
 
-	// scratch is the reusable word buffer for counter-augmented sets.
-	scratch []uint64
-
 	// allBut[i] is the precomputed broadcast destination set excluding core
 	// i (exact capacity: appending to it always copies).
 	allBut [][]mesh.NodeID
@@ -142,27 +139,41 @@ type Filter struct {
 	// exactly the pre-degradation code paths (byte-identical results).
 	DegradationEnabled bool
 
-	// suspects holds per-VM degradation state while a map is suspected
-	// stale (injected corruption, counter underflow, or a transaction that
-	// escalated past a filtering threshold).
-	suspects map[mem.VMID]*suspicion
-
-	// Degradation statistics (whole-run; see system.Stats).
-	FallbackCounterAug uint64 // private routes served by the counter-augmented map
-	FallbackBroadcast  uint64 // private routes served by full broadcast
-	MapRebuilds        uint64 // maps reconstructed from running + resident state
-	Underflows         uint64 // residence-counter underflows recovered
+	// slots holds per-dense-VM degradation state (suspicion level while a
+	// map is suspected stale, fallback counters, the counter-augmented
+	// scratch buffer, and the VM's clock/scan scope). One flat value slot
+	// per VM keeps each VM's state confined to the shard that owns it, so
+	// degradation under fault load never shares mutable state across shard
+	// goroutines.
+	slots []vmSlot
 }
 
-// suspicion is one VM's degradation state: at level 1 private requests use
-// the counter-augmented map (map plus every core still holding the VM's
-// data); at level 2 they broadcast and the map is rebuilt. Suspicion decays
-// after suspectWindow cycles without a new trigger — the safety argument
-// (paper Section IV) makes the map advisory, so decay can never break
-// correctness, only restore filtering efficiency.
-type suspicion struct {
+// vmSlot is one VM's degradation state: at level 1 private requests use the
+// counter-augmented map (map plus every core still holding the VM's data);
+// at level 2 they broadcast and the map is rebuilt. Suspicion decays after
+// suspectWindow cycles without a new trigger — the safety argument (paper
+// Section IV) makes the map advisory, so decay can never break correctness,
+// only restore filtering efficiency.
+type vmSlot struct {
 	level int
 	until sim.Cycle
+
+	// Degradation statistics (whole-run; summed by the accessor methods).
+	fallbackAug   uint64 // private routes served by the counter-augmented map
+	fallbackBroad uint64 // private routes served by full broadcast
+	rebuilds      uint64 // maps reconstructed from running + resident state
+	underflows    uint64 // residence-counter underflows recovered
+
+	// scratch is this VM's reusable word buffer for counter-augmented sets
+	// (lazily allocated; per-VM so concurrent shards never share it).
+	scratch []uint64
+	// scanCores restricts residence scans to these cores (nil = all).
+	// Sharded runs set a VM's quadrant, which is exact: its data can only
+	// reside in caches its vCPUs have run on.
+	scanCores []int
+	// eng supplies this VM's clock for suspicion windows (nil = the
+	// filter's engine; sharded runs set the owning domain's engine).
+	eng *sim.Engine
 }
 
 // suspectWindow is how long a suspicion lasts past its latest trigger.
@@ -179,10 +190,8 @@ func NewFilter(eng *sim.Engine, cfg Config, coreNodes []mesh.NodeID, caches []*c
 		eng:       eng,
 		coreNodes: coreNodes,
 		nw:        (len(coreNodes) + 63) / 64,
-		scratch:   make([]uint64, (len(coreNodes)+63)/64),
 		caches:    caches,
 		friends:   make(map[mem.VMID]mem.VMID),
-		suspects:  make(map[mem.VMID]*suspicion),
 	}
 	f.allBut = make([][]mesh.NodeID, len(coreNodes))
 	for i := range coreNodes {
@@ -245,8 +254,67 @@ func (f *Filter) ensure(vm mem.VMID) int {
 		f.runBits = append(f.runBits, make([]uint64, f.nw)...)
 		f.pendBits = append(f.pendBits, make([]uint64, f.nw)...)
 		f.pendAt = append(f.pendAt, make([]sim.Cycle, len(f.coreNodes))...)
+		f.slots = append(f.slots, vmSlot{})
 	}
 	return d
+}
+
+// slot returns vm's degradation slot, growing the register files if needed.
+func (f *Filter) slot(vm mem.VMID) *vmSlot { return &f.slots[f.ensure(vm)] }
+
+// slotNow is the clock suspicion windows for this slot are measured on.
+func (f *Filter) slotNow(s *vmSlot) sim.Cycle {
+	if s.eng != nil {
+		return s.eng.Now()
+	}
+	return f.eng.Now()
+}
+
+// SetVMScope confines vm's degradation machinery to its snoop-domain shard:
+// residence scans cover only cores (nil = all caches) and suspicion windows
+// read eng's clock (nil = the filter's engine). Sharded runs call this at
+// setup for every VM, matching the partitioner's core assignment.
+func (f *Filter) SetVMScope(vm mem.VMID, cores []int, eng *sim.Engine) {
+	s := f.slot(vm)
+	s.scanCores = cores
+	s.eng = eng
+}
+
+// FallbackCounterAug returns the private routes served by the
+// counter-augmented map across all VMs.
+func (f *Filter) FallbackCounterAug() uint64 {
+	var n uint64
+	for i := range f.slots {
+		n += f.slots[i].fallbackAug
+	}
+	return n
+}
+
+// FallbackBroadcast returns the private routes served by full broadcast.
+func (f *Filter) FallbackBroadcast() uint64 {
+	var n uint64
+	for i := range f.slots {
+		n += f.slots[i].fallbackBroad
+	}
+	return n
+}
+
+// MapRebuilds returns the maps reconstructed from running + resident state.
+func (f *Filter) MapRebuilds() uint64 {
+	var n uint64
+	for i := range f.slots {
+		n += f.slots[i].rebuilds
+	}
+	return n
+}
+
+// Underflows returns the residence-counter underflows recovered.
+func (f *Filter) Underflows() uint64 {
+	var n uint64
+	for i := range f.slots {
+		n += f.slots[i].underflows
+	}
+	return n
 }
 
 // words returns vm's word-slice view of a register file, or nil when the
@@ -395,7 +463,8 @@ func (f *Filter) NoteUnderflow(vm mem.VMID) {
 	if !f.DegradationEnabled {
 		return
 	}
-	f.Underflows++
+	s := f.slot(vm)
+	s.underflows++
 	f.SuspectVM(vm, 2)
 }
 
@@ -409,15 +478,11 @@ func (f *Filter) SuspectVM(vm mem.VMID, level int) {
 	if level > 2 {
 		level = 2
 	}
-	s := f.suspects[vm]
-	if s == nil {
-		s = &suspicion{}
-		f.suspects[vm] = s
-	}
+	s := f.slot(vm)
 	if level > s.level {
 		s.level = level
 	}
-	s.until = f.eng.Now() + suspectWindow
+	s.until = f.slotNow(s) + suspectWindow
 	if s.level >= 2 {
 		f.rebuildMap(vm)
 	}
@@ -425,8 +490,12 @@ func (f *Filter) SuspectVM(vm mem.VMID, level int) {
 
 // SuspicionLevel returns vm's current degradation level (0 = none).
 func (f *Filter) SuspicionLevel(vm mem.VMID) int {
-	s := f.suspects[vm]
-	if s == nil || f.eng.Now() > s.until {
+	d := mem.DenseVM(vm)
+	if d >= len(f.slots) {
+		return 0
+	}
+	s := &f.slots[d]
+	if s.level == 0 || f.slotNow(s) > s.until {
 		return 0
 	}
 	return s.level
@@ -451,17 +520,33 @@ func (f *Filter) CorruptMap(vm mem.VMID, core int) {
 // the VM currently runs plus every core whose cache still holds its data.
 func (f *Filter) rebuildMap(vm mem.VMID) {
 	d := f.ensure(vm)
+	s := &f.slots[d]
 	m := f.mapBits[d*f.nw : (d+1)*f.nw]
 	run := f.runBits[d*f.nw : (d+1)*f.nw]
 	copy(m, run)
-	if f.caches != nil {
-		for i, c := range f.caches {
-			if c != nil && c.Resident(vm) > 0 {
-				setBit(m, i)
+	f.scanResident(vm, s, m)
+	s.rebuilds++
+}
+
+// scanResident sets the bit of every core whose cache still holds vm's data,
+// honoring the slot's scan scope.
+func (f *Filter) scanResident(vm mem.VMID, s *vmSlot, w []uint64) {
+	if f.caches == nil {
+		return
+	}
+	if s.scanCores != nil {
+		for _, i := range s.scanCores {
+			if c := f.caches[i]; c != nil && c.Resident(vm) > 0 {
+				setBit(w, i)
 			}
 		}
+		return
 	}
-	f.MapRebuilds++
+	for i, c := range f.caches {
+		if c != nil && c.Resident(vm) > 0 {
+			setBit(w, i)
+		}
+	}
 }
 
 // MapCores returns the sorted cores in vm's vCPU map (for tests/stats).
@@ -540,37 +625,36 @@ func (f *Filter) domainExcept(vm mem.VMID, requester int) []mesh.NodeID {
 	if !f.DegradationEnabled {
 		return f.mapExcept(vm, requester)
 	}
-	s := f.suspects[vm]
-	if s == nil || f.eng.Now() > s.until {
-		if s != nil {
-			delete(f.suspects, vm) // suspicion decayed
-		}
+	d := mem.DenseVM(vm)
+	if d >= len(f.slots) {
+		return f.mapExcept(vm, requester)
+	}
+	s := &f.slots[d]
+	if s.level == 0 || f.slotNow(s) > s.until {
+		s.level = 0 // suspicion decayed
 		return f.mapExcept(vm, requester)
 	}
 	if s.level >= 2 {
-		f.FallbackBroadcast++
+		s.fallbackBroad++
 		return f.allExcept(requester)
 	}
-	f.FallbackCounterAug++
-	return f.counterAugExcept(vm, requester)
+	s.fallbackAug++
+	return f.counterAugExcept(vm, s, requester)
 }
 
 // counterAugExcept returns the map augmented with every core whose
 // residence counter says it still holds the VM's data — the level-1
 // degradation set: cheap to compute, strictly safer than the map alone.
-func (f *Filter) counterAugExcept(vm mem.VMID, requester int) []mesh.NodeID {
-	w := f.scratch
+func (f *Filter) counterAugExcept(vm mem.VMID, s *vmSlot, requester int) []mesh.NodeID {
+	if s.scratch == nil {
+		s.scratch = make([]uint64, f.nw)
+	}
+	w := s.scratch
 	for i := range w {
 		w[i] = 0
 	}
 	copy(w, f.words(f.mapBits, vm))
-	if f.caches != nil {
-		for i, c := range f.caches {
-			if c != nil && c.Resident(vm) > 0 {
-				setBit(w, i)
-			}
-		}
-	}
+	f.scanResident(vm, s, w)
 	n := popcount(w)
 	if testBit(w, requester) {
 		n--

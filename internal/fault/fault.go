@@ -167,6 +167,24 @@ type Injector struct {
 	mcs                 []mesh.NodeID
 	dropP, dupP, delayP float64
 	delayMax            int
+	mixedSeed           uint64
+
+	// perNode, when non-nil, gives every source endpoint its own random
+	// stream and fault counters (EnablePerNode). Sharded runs need this:
+	// the message hook fires concurrently from different shards, and a
+	// single stream would both race and make the fault sequence depend on
+	// the shard interleaving. A node's stream is consumed in that node's
+	// deterministic send order, so per-node faulting is reproducible and
+	// independent of the shard count.
+	perNode []nodeFaults
+}
+
+// nodeFaults is one endpoint's fault state, padded so that concurrent
+// senders on different shards do not share a cache line.
+type nodeFaults struct {
+	rng   *sim.Rand
+	stats Stats
+	_     [6]uint64
 }
 
 // NewInjector builds an injector whose random stream mixes the plan seed
@@ -176,14 +194,43 @@ func NewInjector(plan *Plan, runSeed uint64) *Injector {
 	if delayMax <= 0 {
 		delayMax = 200
 	}
+	mixed := runSeed ^ (plan.Seed * 0x9e3779b97f4a7c15)
 	return &Injector{
-		Plan:     plan,
-		Rng:      sim.NewRandTagged(runSeed^(plan.Seed*0x9e3779b97f4a7c15), "fault"),
-		dropP:    plan.DropPct / 100,
-		dupP:     plan.DupPct / 100,
-		delayP:   plan.DelayPct / 100,
-		delayMax: delayMax,
+		Plan:      plan,
+		Rng:       sim.NewRandTagged(mixed, "fault"),
+		dropP:     plan.DropPct / 100,
+		dupP:      plan.DupPct / 100,
+		delayP:    plan.DelayPct / 100,
+		delayMax:  delayMax,
+		mixedSeed: mixed,
 	}
+}
+
+// EnablePerNode switches the probabilistic hook to per-source-node random
+// streams and counters for the given number of endpoints. Call before the
+// run starts; TotalStats aggregates the per-node counters afterwards.
+func (in *Injector) EnablePerNode(nodes int) {
+	in.perNode = make([]nodeFaults, nodes)
+	for i := range in.perNode {
+		in.perNode[i].rng = sim.NewRandTagged(in.mixedSeed, fmt.Sprintf("fault-n%d", i))
+	}
+}
+
+// TotalStats returns the whole-run fault counters: the shared Stats in
+// single-stream mode, the per-node sum after EnablePerNode.
+func (in *Injector) TotalStats() Stats {
+	if in.perNode == nil {
+		return in.Stats
+	}
+	total := in.Stats // scheduled-event counters stay on the shared struct
+	for i := range in.perNode {
+		s := &in.perNode[i].stats
+		total.Dropped += s.Dropped
+		total.Bounced += s.Bounced
+		total.Duplicated += s.Duplicated
+		total.Delayed += s.Delayed
+	}
+	return total
 }
 
 // Attach installs the message hook on the network and applies link
@@ -214,42 +261,47 @@ func (in *Injector) hook(src, dst mesh.NodeID, bytes int, payload interface{}) m
 	if !ok {
 		return mesh.FaultOutcome{}
 	}
+	rng, stats := in.Rng, &in.Stats
+	if in.perNode != nil {
+		n := &in.perNode[src]
+		rng, stats = n.rng, &n.stats
+	}
 	var out mesh.FaultOutcome
 	switch msg.Kind {
 	case token.MsgGetS, token.MsgGetX:
 		// Transient requests: fully faultable. Loss is what the
 		// timeout/retry path exists for; duplicates are idempotent.
-		if in.dropP > 0 && in.Rng.Bool(in.dropP) {
-			in.Stats.Dropped++
+		if in.dropP > 0 && rng.Bool(in.dropP) {
+			stats.Dropped++
 			out.Drop = true
 			return out
 		}
-		if in.dupP > 0 && in.Rng.Bool(in.dupP) {
-			in.Stats.Duplicated++
+		if in.dupP > 0 && rng.Bool(in.dupP) {
+			stats.Duplicated++
 			out.Duplicate = true
 		}
-		in.maybeDelay(&out)
+		in.maybeDelay(rng, stats, &out)
 	case token.MsgData, token.MsgTokens:
 		// Token-carrying: never destroyed, bounced home instead.
-		if in.dropP > 0 && in.Rng.Bool(in.dropP) && len(in.mcs) > 0 {
-			in.Stats.Bounced++
+		if in.dropP > 0 && rng.Bool(in.dropP) && len(in.mcs) > 0 {
+			stats.Bounced++
 			out.Redirected = true
 			out.RedirectTo = in.home(msg.Addr)
 		}
-		in.maybeDelay(&out)
+		in.maybeDelay(rng, stats, &out)
 	case token.MsgWBData, token.MsgWBTokens:
 		// Writebacks already target home: delay-only.
-		in.maybeDelay(&out)
+		in.maybeDelay(rng, stats, &out)
 	default:
 		// Persistent protocol: the reliable channel of last resort.
 	}
 	return out
 }
 
-func (in *Injector) maybeDelay(out *mesh.FaultOutcome) {
-	if in.delayP > 0 && in.Rng.Bool(in.delayP) {
-		in.Stats.Delayed++
-		out.Delay = sim.Cycle(1 + in.Rng.Intn(in.delayMax))
+func (in *Injector) maybeDelay(rng *sim.Rand, stats *Stats, out *mesh.FaultOutcome) {
+	if in.delayP > 0 && rng.Bool(in.delayP) {
+		stats.Delayed++
+		out.Delay = sim.Cycle(1 + rng.Intn(in.delayMax))
 	}
 }
 

@@ -228,6 +228,31 @@ func (m *Manager) Translate(vm VMID, gp GuestPage) Translation {
 // pages, which matches the hardware default of no sharing bits set).
 func (m *Manager) TypeOf(p HostPage) PageType { return m.hostType[p] }
 
+// PreallocateAll eagerly allocates every unmapped guest page in every space,
+// in (VM id, guest page) order — the same order lazy first-touch allocation
+// would produce on a serial run of the reference workloads, whose vCPUs walk
+// their spaces in VM order from cycle zero. Sharded runs call this at setup:
+// Translate's first-touch path mutates the shared allocator from concurrent
+// shards, and host-page numbering must not depend on shard interleaving.
+func (m *Manager) PreallocateAll() {
+	vms := make([]VMID, 0, len(m.spaces))
+	for vm := range m.spaces {
+		vms = append(vms, vm)
+	}
+	sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
+	for _, vm := range vms {
+		s := m.spaces[vm]
+		for gp := range s.table {
+			e := &s.table[gp]
+			if !e.valid {
+				e.host = m.allocHost(PagePrivate)
+				e.typ = PagePrivate
+				e.valid = true
+			}
+		}
+	}
+}
+
 // SetContent declares the content of a guest page, touching it first if
 // needed. It is used by workload setup to mark pages whose contents are
 // identical across VMs (e.g. guest kernel text, shared libraries).

@@ -105,10 +105,26 @@ type Network struct {
 	// Traffic statistics, flit-quantized: a message occupies whole flits
 	// of LinkBytesPerCycle bytes on every link it crosses (an 8-byte
 	// control message on a 16-byte link still costs one full flit), which
-	// matches how Garnet-style NoC models account traffic.
+	// matches how Garnet-style NoC models account traffic. In partitioned
+	// mode (Partition) these stay zero and traffic is charged to the
+	// sending domain's slot instead; read through TrafficTotals.
 	ByteHops uint64 // flit-quantized bytes x links traversed
 	Bytes    uint64 // flit-quantized bytes injected
 	Messages uint64
+
+	// Domain partition (nil outside sharded runs): nodeDom maps endpoints
+	// to snoop domains, engs holds the engine executing each domain, and
+	// traf is the per-domain traffic accounting (padded to a cache line so
+	// concurrent senders do not share one).
+	nodeDom []int32
+	engs    []*sim.Engine
+	traf    []trafficSlot
+}
+
+// trafficSlot is one domain's traffic counters, padded to a cache line.
+type trafficSlot struct {
+	byteHops, bytes, messages uint64
+	_                         [5]uint64
 }
 
 // New creates a mesh network driven by eng.
@@ -134,6 +150,50 @@ func New(eng *sim.Engine, cfg Config) *Network {
 // dense table index.
 func (n *Network) linkID(x, y, dir int) int {
 	return (y*n.cfg.Width+x)<<2 | dir
+}
+
+// Partition switches the network to domain-partitioned mode: endpoint i
+// belongs to snoop domain nodeDom[i], and domain d's events execute on
+// engs[d] (several domains may share one engine). Intra-domain messages
+// keep the full link-contention model — XY routes between endpoints of an
+// axis-aligned domain never leave it, so each domain's links are touched by
+// exactly one shard. Cross-domain messages are delivered at zero-load
+// latency (no link reservations, which would race across shards); since a
+// cross-domain route has at least one hop, that latency is at least
+// RouterDelay+LinkDelay+1 — the lookahead the sharded engine relies on.
+// Call after Attach-ing every endpoint and before any Send.
+func (n *Network) Partition(nodeDom []int32, engs []*sim.Engine) {
+	if len(nodeDom) != len(n.nodes) {
+		panic(fmt.Sprintf("mesh: partition of %d nodes, have %d", len(nodeDom), len(n.nodes)))
+	}
+	n.nodeDom = nodeDom
+	n.engs = engs
+	n.traf = make([]trafficSlot, len(engs))
+}
+
+// MinCrossLatency returns the minimum latency of any cross-domain message
+// (one hop, one flit) — the conservative lookahead for sharded execution.
+func (n *Network) MinCrossLatency() sim.Cycle {
+	return n.cfg.RouterDelay + n.cfg.LinkDelay + 1
+}
+
+// TrafficTotals returns the whole-machine traffic counters, summing the
+// per-domain slots in partitioned mode.
+func (n *Network) TrafficTotals() (byteHops, bytes, messages uint64) {
+	byteHops, bytes, messages = n.ByteHops, n.Bytes, n.Messages
+	for i := range n.traf {
+		t := &n.traf[i]
+		byteHops += t.byteHops
+		bytes += t.bytes
+		messages += t.messages
+	}
+	return
+}
+
+// DomainTraffic returns domain d's traffic counters (partitioned mode).
+func (n *Network) DomainTraffic(d int) (byteHops, bytes, messages uint64) {
+	t := &n.traf[d]
+	return t.byteHops, t.bytes, t.messages
 }
 
 // Config returns the network configuration.
@@ -220,21 +280,35 @@ func (n *Network) Send(src, dst NodeID, bytes int, payload interface{}) {
 // transmit performs the actual routing, accounting, and delivery.
 func (n *Network) transmit(src, dst NodeID, bytes int, payload interface{}, extra sim.Cycle) {
 	hops := n.Hops(src, dst)
-	n.Messages++
 	flitBytes := uint64(n.serialization(bytes)) * uint64(n.cfg.LinkBytesPerCycle)
-	n.Bytes += flitBytes
-	n.ByteHops += flitBytes * uint64(maxInt(hops, 1))
+	eng := n.eng
+	crossDom := false
+	var dd int32
+	if n.nodeDom != nil {
+		sd := n.nodeDom[src]
+		dd = n.nodeDom[dst]
+		t := &n.traf[sd]
+		t.messages++
+		t.bytes += flitBytes
+		t.byteHops += flitBytes * uint64(maxInt(hops, 1))
+		eng = n.engs[sd]
+		crossDom = sd != dd
+	} else {
+		n.Messages++
+		n.Bytes += flitBytes
+		n.ByteHops += flitBytes * uint64(maxInt(hops, 1))
+	}
 
 	var arrive sim.Cycle
-	if !n.cfg.Contention || hops == 0 {
-		arrive = n.eng.Now() + n.Latency(src, dst, bytes)
+	if crossDom || !n.cfg.Contention || hops == 0 {
+		arrive = eng.Now() + n.Latency(src, dst, bytes)
 	} else {
 		// Walk the XY route inline (X moves first, then Y), reserving each
 		// directed link in the dense nextFree table — no per-message route
 		// slice is materialized.
 		ser := n.serialization(bytes)
 		lastSer := ser
-		t := n.eng.Now() + n.cfg.RouterDelay // source injection pipeline
+		t := eng.Now() + n.cfg.RouterDelay // source injection pipeline
 		a, b := n.nodes[src], n.nodes[dst]
 		x, y := a.x, a.y
 		for x != b.x || y != b.y {
@@ -275,7 +349,11 @@ func (n *Network) transmit(src, dst NodeID, bytes int, payload interface{}, extr
 		arrive = t + lastSer - 1
 	}
 	arrive += extra
-	n.eng.ScheduleFnAt(arrive, n.deliver, payload, uint64(dst))
+	if n.nodeDom != nil {
+		eng.ScheduleFnAtDom(arrive, dd, n.deliver, payload, uint64(dst))
+	} else {
+		eng.ScheduleFnAt(arrive, n.deliver, payload, uint64(dst))
+	}
 }
 
 // DegradeLinks marks count randomly chosen directed links as degraded: their

@@ -5,47 +5,74 @@
 package prof
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
+	"strconv"
 )
 
 // Flags holds the profile destinations registered by AddFlags.
 type Flags struct {
 	CPUProfile string
 	MemProfile string
+	Trace      string
 
-	cpuFile *os.File
+	cpuFile   *os.File
+	traceFile *os.File
 }
 
-// AddFlags registers -cpuprofile and -memprofile on fs (the default
-// flag.CommandLine when fs is nil).
+// AddFlags registers -cpuprofile, -memprofile and -trace on fs (the
+// default flag.CommandLine when fs is nil).
 func (f *Flags) AddFlags(fs *flag.FlagSet) {
 	if fs == nil {
 		fs = flag.CommandLine
 	}
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to `file`")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write an allocation profile to `file` at exit")
+	fs.StringVar(&f.Trace, "trace", "", "write a Go runtime execution trace to `file` (inspect with go tool trace; shard barrier stalls show up per goroutine)")
+}
+
+// Do runs fn with pprof labels (shard, phase) attached, so per-shard time
+// separates cleanly in CPU profiles and execution traces of the parallel
+// engine. It is called once per shard goroutine, not per event.
+func Do(shard int, phase string, fn func()) {
+	pprof.Do(context.Background(), pprof.Labels(
+		"shard", strconv.Itoa(shard), "phase", phase,
+	), func(context.Context) { fn() })
 }
 
 // Start begins CPU profiling when -cpuprofile was given. Call Stop (usually
 // via defer) before the process exits; note defers do not run across
 // os.Exit, so commands that exit non-zero must call Stop explicitly first.
 func (f *Flags) Start() error {
-	if f.CPUProfile == "" {
-		return nil
+	if f.CPUProfile != "" {
+		file, err := os.Create(f.CPUProfile)
+		if err != nil {
+			return fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(file); err != nil {
+			file.Close()
+			return fmt.Errorf("prof: start cpu profile: %w", err)
+		}
+		f.cpuFile = file
 	}
-	file, err := os.Create(f.CPUProfile)
-	if err != nil {
-		return fmt.Errorf("prof: %w", err)
+	if f.Trace != "" {
+		file, err := os.Create(f.Trace)
+		if err != nil {
+			f.Stop()
+			return fmt.Errorf("prof: %w", err)
+		}
+		if err := trace.Start(file); err != nil {
+			file.Close()
+			f.Stop()
+			return fmt.Errorf("prof: start execution trace: %w", err)
+		}
+		f.traceFile = file
 	}
-	if err := pprof.StartCPUProfile(file); err != nil {
-		file.Close()
-		return fmt.Errorf("prof: start cpu profile: %w", err)
-	}
-	f.cpuFile = file
 	return nil
 }
 
@@ -57,6 +84,11 @@ func (f *Flags) Stop() {
 		pprof.StopCPUProfile()
 		f.cpuFile.Close()
 		f.cpuFile = nil
+	}
+	if f.traceFile != nil {
+		trace.Stop()
+		f.traceFile.Close()
+		f.traceFile = nil
 	}
 	if f.MemProfile != "" {
 		file, err := os.Create(f.MemProfile)

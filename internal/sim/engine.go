@@ -27,7 +27,8 @@ type HandlerFn func(arg interface{}, u uint64)
 // per-event heap object and no interface boxing on push or pop.
 type event struct {
 	at  Cycle
-	seq uint64 // tie-breaker: schedule order within a cycle
+	key uint64 // tie-breaker: schedule order (domain-prefixed in domain mode)
+	dom int32  // executing domain (0 in single-domain engines)
 	fn  func()
 	fn2 HandlerFn
 	arg interface{}
@@ -35,11 +36,15 @@ type event struct {
 }
 
 // before is the strict total order on events: cycle, then schedule order.
+// In domain mode the key embeds the scheduling domain in its high bits, so
+// same-cycle ties break by (scheduling domain, per-domain schedule order) —
+// an order every shard can reproduce locally, making parallel execution
+// bit-identical to serial for the same domain count.
 func (e *event) before(o *event) bool {
 	if e.at != o.at {
 		return e.at < o.at
 	}
-	return e.seq < o.seq
+	return e.key < o.key
 }
 
 // Engine is a discrete-event simulator. The zero value is ready to use.
@@ -51,6 +56,15 @@ type Engine struct {
 	seq    uint64
 	events []event
 	fired  uint64
+
+	// Domain mode (SetDomains): events carry an executing domain and
+	// schedule-order keys are drawn from per-domain counters, so the tie
+	// order is independent of how domains are spread over engines. domSeq
+	// is nil in single-domain (legacy) mode, where key == seq exactly.
+	domSeq  []uint64
+	curDom  int32
+	local   []bool          // local[d]: domain d executes on this engine
+	deposit func(ev event) // sink for events bound to non-local domains
 
 	// No-forward-progress watchdog: when progressLimit > 0, StepChecked
 	// fails after that many events fire without a Progress() mark, turning a
@@ -83,8 +97,7 @@ func (e *Engine) ScheduleAt(at Cycle, fn func()) {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
-	e.seq++
-	e.push(event{at: at, seq: e.seq, fn: fn})
+	e.insert(event{at: at, key: e.nextKey(), dom: e.curDom, fn: fn})
 }
 
 // ScheduleFn runs fn(arg, u) after delay cycles. It is the zero-alloc
@@ -102,9 +115,59 @@ func (e *Engine) ScheduleFnAt(at Cycle, fn HandlerFn, arg interface{}, u uint64)
 	if at < e.now {
 		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
 	}
-	e.seq++
-	e.push(event{at: at, seq: e.seq, fn2: fn, arg: arg, u: u})
+	e.insert(event{at: at, key: e.nextKey(), dom: e.curDom, fn2: fn, arg: arg, u: u})
 }
+
+// ScheduleFnAtDom is ScheduleFnAt with an explicit executing domain: the
+// event fires in domain dom's event stream (possibly on another engine when
+// domains are sharded) while its tie-break key still comes from the current
+// scheduling domain's counter, keeping the order reproducible for any
+// domain-to-engine assignment. The mesh uses it for cross-domain delivery.
+func (e *Engine) ScheduleFnAtDom(at Cycle, dom int32, fn HandlerFn, arg interface{}, u uint64) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+	}
+	e.insert(event{at: at, key: e.nextKey(), dom: dom, fn2: fn, arg: arg, u: u})
+}
+
+// nextKey draws the next tie-break key: the global schedule counter in
+// single-domain mode (key == legacy seq, bit-identical ordering), or the
+// current domain's counter prefixed with the domain index in domain mode.
+func (e *Engine) nextKey() uint64 {
+	if e.domSeq == nil {
+		e.seq++
+		return e.seq
+	}
+	d := e.curDom
+	e.domSeq[d]++
+	return uint64(d)<<48 | e.domSeq[d]
+}
+
+// insert routes an event to the local heap, or to the deposit sink when its
+// executing domain lives on another engine.
+func (e *Engine) insert(ev event) {
+	if e.local != nil && !e.local[ev.dom] {
+		e.deposit(ev)
+		return
+	}
+	e.push(ev)
+}
+
+// SetDomains switches the engine to domain mode with nd domains. local
+// marks the domains this engine executes (nil = all); deposit receives
+// events bound elsewhere. Call before any event is scheduled.
+func (e *Engine) SetDomains(nd int, local []bool, deposit func(ev event)) {
+	if nd <= 1 {
+		return
+	}
+	e.domSeq = make([]uint64, nd)
+	e.local = local
+	e.deposit = deposit
+}
+
+// SetCurDomain sets the scheduling domain used for events scheduled outside
+// any event handler (machine setup); during execution Step maintains it.
+func (e *Engine) SetCurDomain(d int32) { e.curDom = d }
 
 // push inserts ev into the 4-ary heap (sift-up).
 func (e *Engine) push(ev event) {
@@ -166,6 +229,7 @@ func (e *Engine) Step() bool {
 	}
 	ev := e.pop()
 	e.now = ev.at
+	e.curDom = ev.dom
 	e.fired++
 	if ev.fn2 != nil {
 		ev.fn2(ev.arg, ev.u)
@@ -266,3 +330,25 @@ func (e *Engine) RunUntil(limit Cycle) {
 
 // RunFor executes events for the next d cycles (relative RunUntil).
 func (e *Engine) RunFor(d Cycle) { e.RunUntil(e.now + d) }
+
+// NextAt returns the timestamp of the earliest pending event; ok is false
+// when the queue is empty. Conservative window synchronization uses it to
+// compute the global lower bound on future work.
+func (e *Engine) NextAt() (Cycle, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// RunWindow executes events with timestamps strictly below wend under the
+// watchdog, leaving later events queued. It is one shard's work for one
+// conservative synchronization window.
+func (e *Engine) RunWindow(wend Cycle) error {
+	for len(e.events) > 0 && e.events[0].at < wend {
+		if _, err := e.StepChecked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

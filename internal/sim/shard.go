@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+
+	"vsnoop/internal/prof"
+	"vsnoop/internal/runner"
+)
+
+// infCycle marks "no pending work" in window-minimum folds.
+const infCycle = Cycle(math.MaxUint64)
+
+// barrier is a sense-reversing central barrier for a handful of shard
+// goroutines. The last arriver runs the leader closure (single-threaded:
+// everyone else is spinning) and then releases the generation; the atomic
+// generation publish orders the leader's plain writes before the waiters'
+// reads, so window state needs no further synchronization.
+type barrier struct {
+	arrived atomic.Int32
+	gen     atomic.Uint32
+}
+
+func (b *barrier) wait(k int32, leader func()) {
+	g := b.gen.Load()
+	if b.arrived.Add(1) == k {
+		b.arrived.Store(0)
+		if leader != nil {
+			leader()
+		}
+		b.gen.Add(1)
+		return
+	}
+	for b.gen.Load() == g {
+		// Gosched (not a pure spin) keeps K shards correct, if slow, even
+		// on a machine with fewer cores than shards.
+		runtime.Gosched()
+	}
+}
+
+// ShardedEngine runs a domain-partitioned simulation on K event queues —
+// one Engine per shard, each on its own goroutine — under conservative
+// window synchronization: all shards execute events inside the global
+// window [w, w+lookahead), meet at a barrier, exchange cross-shard events
+// through per-(src,dst) mailboxes, and the barrier leader advances the
+// window to the global minimum pending timestamp. Because every event
+// carries a (scheduling domain, per-domain order) key, results are
+// bit-identical for any shard count, including K=1.
+//
+// The lookahead must be a lower bound on the latency of any cross-shard
+// event (for the mesh: the minimum cross-domain link latency), so events
+// deposited during a window always land at or beyond the window end.
+type ShardedEngine struct {
+	engs      []*Engine
+	domShard  []int // domain -> shard
+	k         int
+	lookahead Cycle
+
+	// boxes[src][dst] holds events deposited by shard src for shard dst
+	// during the current window. Deposits happen before barrier A and
+	// drains after it, so no lock is needed: the barrier orders them.
+	boxes [][][]event
+
+	// errs[s] is shard s's window error, published before barrier B.
+	errs []error
+
+	// Window state, written only by the barrier-B leader.
+	w, wend Cycle
+	done    bool
+	err     error
+	fired   uint64
+
+	barA, barB barrier
+
+	// MaxSteps, when nonzero, bounds the total events executed across all
+	// shards; the run fails with a StepLimitError at the first window
+	// boundary at or past the bound (window granularity keeps the trigger
+	// point independent of the shard count).
+	MaxSteps uint64
+
+	// OnWindow, if set, runs on the barrier leader at every window
+	// advance, with every shard quiesced at exactly cycle now (all events
+	// below now executed, none at or above). Invariant checkers hook here.
+	// A non-nil error aborts the run.
+	OnWindow func(now Cycle) error
+}
+
+// NewSharded builds a sharded engine for nd domains with the given
+// domain-to-shard assignment (len nd, shard indices dense from 0) and
+// lookahead. Components must be wired to Eng(domShard[d]) for their domain.
+func NewSharded(domShard []int, lookahead Cycle) *ShardedEngine {
+	nd := len(domShard)
+	k := 0
+	for _, s := range domShard {
+		if s+1 > k {
+			k = s + 1
+		}
+	}
+	se := &ShardedEngine{
+		domShard:  domShard,
+		k:         k,
+		lookahead: lookahead,
+		engs:      make([]*Engine, k),
+		boxes:     make([][][]event, k),
+		errs:      make([]error, k),
+	}
+	for s := 0; s < k; s++ {
+		s := s
+		local := make([]bool, nd)
+		for d, sh := range domShard {
+			local[d] = sh == s
+		}
+		eng := NewEngine()
+		eng.SetDomains(nd, local, func(ev event) {
+			dst := se.domShard[ev.dom]
+			se.boxes[s][dst] = append(se.boxes[s][dst], ev)
+		})
+		se.engs[s] = eng
+		se.boxes[s] = make([][]event, k)
+	}
+	return se
+}
+
+// Eng returns shard s's engine.
+func (se *ShardedEngine) Eng(s int) *Engine { return se.engs[s] }
+
+// Shards returns the shard count K.
+func (se *ShardedEngine) Shards() int { return se.k }
+
+// Fired returns the total events executed across all shards (valid after
+// Run returns).
+func (se *ShardedEngine) Fired() uint64 { return se.fired }
+
+// Now returns the final window cycle (valid after Run returns).
+func (se *ShardedEngine) Now() Cycle { return se.w }
+
+// SetProgressLimit arms every shard's no-forward-progress watchdog.
+func (se *ShardedEngine) SetProgressLimit(limit uint64) {
+	for _, e := range se.engs {
+		e.SetProgressLimit(limit)
+	}
+}
+
+// Run executes all queued work to quiescence (or error). With K=1 it runs
+// the window loop inline on the caller's goroutine — the degenerate serial
+// case, whose window boundaries (and therefore results and OnWindow
+// callbacks) are identical to any K>1 run.
+func (se *ShardedEngine) Run() error {
+	se.w, se.wend = 0, 0 // round 0 executes nothing and seeds the window
+	se.done, se.err = false, nil
+	if se.k == 1 {
+		se.runSerial()
+	} else {
+		runner.Map(se.k, se.k, func(s int) struct{} {
+			prof.Do(s, "shard-loop", func() { se.runShard(s) })
+			return struct{}{}
+		})
+	}
+	se.fired = 0
+	for _, e := range se.engs {
+		se.fired += e.Fired()
+	}
+	return se.err
+}
+
+// runSerial is the K=1 path. A single shard owns every domain, so deposits
+// never happen and both barriers are no-ops; all that remains of the window
+// protocol is the fold bookkeeping. When nothing observes window boundaries
+// (no OnWindow hook, no step bound) even that folds away and the run is one
+// plain heap drain — zero overhead versus the unsharded engine, with the
+// same event order: a single queue pops by (domain, seq) key regardless of
+// where windows would have fallen.
+func (se *ShardedEngine) runSerial() {
+	eng := se.engs[0]
+	if se.OnWindow == nil && se.MaxSteps == 0 {
+		se.err = eng.RunWindow(infCycle)
+		se.w = eng.Now()
+		return
+	}
+	for {
+		se.errs[0] = eng.RunWindow(se.wend)
+		se.fold()
+		if se.done {
+			return
+		}
+	}
+}
+
+func (se *ShardedEngine) runShard(s int) {
+	eng := se.engs[s]
+	k := int32(se.k)
+	for {
+		err := eng.RunWindow(se.wend)
+		// Barrier A: after it, every deposit of this window is in its
+		// mailbox and no shard is executing.
+		se.barA.wait(k, nil)
+		for src := 0; src < se.k; src++ {
+			box := se.boxes[src][s]
+			for i := range box {
+				eng.push(box[i])
+			}
+			se.boxes[src][s] = box[:0]
+		}
+		se.errs[s] = err
+		// Barrier B: the leader folds errors, checks bounds, and advances
+		// the window to the global minimum pending timestamp.
+		se.barB.wait(k, se.fold)
+		if se.done {
+			return
+		}
+	}
+}
+
+// fold is the barrier-B leader: every shard is quiesced and drained.
+func (se *ShardedEngine) fold() {
+	var ferr error
+	for s := 0; s < se.k; s++ {
+		if se.errs[s] != nil {
+			ferr = se.errs[s]
+			break
+		}
+	}
+	var total uint64
+	m := infCycle
+	pending := 0
+	for _, e := range se.engs {
+		total += e.Fired()
+		pending += e.Pending()
+		if at, ok := e.NextAt(); ok && at < m {
+			m = at
+		}
+	}
+	if ferr == nil && se.MaxSteps > 0 && total >= se.MaxSteps && pending > 0 {
+		ferr = &StepLimitError{Limit: se.MaxSteps, Now: se.w, Pending: pending}
+	}
+	if ferr != nil {
+		se.err = ferr
+		se.done = true
+		return
+	}
+	if m == infCycle {
+		se.done = true
+		return
+	}
+	if se.OnWindow != nil {
+		if err := se.OnWindow(m); err != nil {
+			se.err = err
+			se.done = true
+			return
+		}
+	}
+	se.w, se.wend = m, m+se.lookahead
+}

@@ -110,6 +110,23 @@ func (s *Sample) Max() float64 { return s.max }
 // Sum returns the running total.
 func (s *Sample) Sum() float64 { return s.sum }
 
+// Merge folds other's observations into s. Summary statistics after a merge
+// equal those of a single Sample fed both observation streams.
+func (s *Sample) Merge(other *Sample) {
+	if other.n == 0 {
+		return
+	}
+	if s.n == 0 || other.min < s.min {
+		s.min = other.min
+	}
+	if s.n == 0 || other.max > s.max {
+		s.max = other.max
+	}
+	s.n += other.n
+	s.sum += other.sum
+	s.sumSq += other.sumSq
+}
+
 // CDF collects observations and reports the empirical cumulative
 // distribution, used for Figure 9 (core-removal periods).
 type CDF struct {
@@ -125,6 +142,17 @@ func (c *CDF) Observe(v float64) {
 
 // N returns the number of observations.
 func (c *CDF) N() int { return len(c.vals) }
+
+// Merge folds other's observations into c. The empirical distribution after
+// a merge is order-independent (queries sort), so merging per-shard CDFs in
+// shard order yields the same curve for any shard count.
+func (c *CDF) Merge(other *CDF) {
+	if len(other.vals) == 0 {
+		return
+	}
+	c.vals = append(c.vals, other.vals...)
+	c.sorted = false
+}
 
 func (c *CDF) ensureSorted() {
 	if !c.sorted {

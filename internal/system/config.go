@@ -107,6 +107,13 @@ type Config struct {
 	// outstanding before the completion invariant flags it (0 = 500k).
 	TxnAgeLimit sim.Cycle
 
+	// Shards is the number of parallel event-queue shards for shardable
+	// configurations (0 or 1 = serial execution). Results are bit-identical
+	// for every value: the semantic event ordering is fixed by the config
+	// alone (see shardable), and Shards only chooses how many goroutines
+	// execute it. Clamped to the snoop-domain count (4).
+	Shards int
+
 	// MaxSteps bounds the run's executed event count; RunChecked returns a
 	// sim.StepLimitError when exhausted (0 = unbounded).
 	MaxSteps uint64
@@ -187,7 +194,45 @@ func (c Config) Validate() error {
 			return fmt.Errorf("system: fault event %d targets core %d of %d", i, ev.Core, c.Cores)
 		}
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("system: negative Shards")
+	}
 	return nil
+}
+
+// shardable reports whether this configuration partitions into the four
+// fixed mesh-quadrant snoop domains the parallel engine shards over.
+//
+// When it holds, the machine is built in domain-partitioned mode with four
+// scheduling domains regardless of Config.Shards — the shard count only
+// picks how many goroutines execute those domains, never what they compute.
+// A non-shardable config runs the single-queue legacy engine, also
+// independent of Shards. Either way results depend on the config alone.
+//
+// The predicate requires the quadrant placement invariant: every VM's
+// vCPUs, data, and filter state stay inside one 2x2 quadrant for the whole
+// run. That excludes migration (vCPU maps would span quadrants), content
+// sharing and region scout (cross-VM page state), linear placement (VMs
+// straddle quadrants), the directory model (its own engine wiring), and
+// fault plans with scheduled events or a hypervisor (migration storms and
+// hypervisor pages cross quadrants). Probabilistic message faults remain
+// shardable: drops, duplicates, delays, and home-bounces never move a VM's
+// data into another quadrant.
+func (c Config) shardable() bool {
+	if c.Directory || c.UseRegionScout || c.MigrationPeriodMs != 0 ||
+		c.ContentSharing || c.LinearPlacement {
+		return false
+	}
+	if c.Cores != 16 || c.Mesh.Width != 4 || c.Mesh.Height != 4 {
+		return false
+	}
+	if c.VMs > 4 || c.VCPUsPerVM != 4 {
+		return false
+	}
+	if c.Fault.Active() && (len(c.Fault.Events) > 0 || !c.NoHypervisor) {
+		return false
+	}
+	return true
 }
 
 // faultEvents returns the plan's events (nil-safe).

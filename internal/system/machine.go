@@ -24,6 +24,7 @@ import (
 type coreNode struct {
 	idx    int
 	node   mesh.NodeID
+	dom    *domain // the snoop-domain partition owning this core
 	l1, l2 *cache.Cache
 	tlb    *tlb.TLB
 	ctrl   *token.CacheCtrl     // token-protocol controller (nil in directory mode)
@@ -58,6 +59,7 @@ type RefSource interface {
 // vcpu is one virtual CPU: its reference source, progress, and identity.
 type vcpu struct {
 	id       hv.VCPU
+	dom      *domain // the snoop-domain partition this vCPU executes in
 	gen      RefSource
 	left     int // references remaining
 	executed int // references issued so far (for warmup accounting)
@@ -65,6 +67,25 @@ type vcpu struct {
 	// (TLB walk, COW trap). A vCPU's stream is strictly sequential, so at
 	// most one resumption is ever outstanding.
 	pending workload.Ref
+}
+
+// domain is one snoop-domain partition of the machine: the quadrant's
+// cores, the memory controller at its corner, the engine that executes its
+// events, and the run-time statistics its events record. A non-shardable
+// configuration has exactly one domain covering the whole machine, driven
+// by the single legacy engine — the hot paths read state through the
+// domain either way, so serial runs pay no branch for sharding support.
+type domain struct {
+	idx   int32
+	eng   *sim.Engine
+	st    *Stats
+	cores []int // core indexes owned by this domain
+	mcs   []int // memory-controller indexes owned by this domain
+
+	nvcpus   int
+	live     int  // vCPUs still running
+	warmLeft int  // vCPUs still inside the warmup phase
+	warmed   bool // statistics snapshot taken
 }
 
 // Machine is a fully wired simulated system.
@@ -90,18 +111,27 @@ type Machine struct {
 	// fault plan is configured).
 	Checker *check.Checker
 	ledger  *check.Ledger
+	// ledgers holds one token-custody ledger per domain in sharded mode, so
+	// custody observations stay shard-local (conservation sums them).
+	ledgers []*check.Ledger
 
 	dom0 mem.VMID
 
 	Stats Stats
 
+	// doms holds the snoop-domain partitions (one covering everything in
+	// legacy mode, four mesh quadrants in sharded mode); sharded is the
+	// parallel engine driving them (nil in legacy mode).
+	doms    []*domain
+	sharded *sim.ShardedEngine
+	// chkNow is the window-boundary clock published to the invariant
+	// checker in sharded runs (written by the barrier leader, read by the
+	// checker on the same goroutine).
+	chkNow sim.Cycle
+
 	// DebugMissHook, if set, receives (guest page, write) for every
 	// measured guest L2 miss; used by calibration tooling only.
 	DebugMissHook func(page int, write bool)
-
-	liveVCPUs int
-	warmLeft  int  // vCPUs still inside the warmup phase
-	warmed    bool // statistics snapshot taken
 
 	// stepFn/resumeFn are the prebound event handlers for the two hottest
 	// schedulers (per-reference think-time step, delayed reference
@@ -116,7 +146,41 @@ func New(cfg Config) (*Machine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m := &Machine{cfg: cfg, Eng: sim.NewEngine(), node2i: make(map[mesh.NodeID]int)}
+	m := &Machine{cfg: cfg, node2i: make(map[mesh.NodeID]int)}
+
+	// Engine topology. A shardable config always partitions into the four
+	// mesh-quadrant snoop domains — Shards only picks how many goroutines
+	// execute them (domain d runs on shard d mod K), so results are
+	// bit-identical for every K. A non-shardable config keeps the single
+	// legacy engine as its one whole-machine domain.
+	if cfg.shardable() {
+		const nd = 4
+		k := cfg.Shards
+		if k < 1 {
+			k = 1
+		}
+		if k > nd {
+			k = nd
+		}
+		domShard := make([]int, nd)
+		for d := range domShard {
+			domShard[d] = d % k
+		}
+		// Lookahead: any cross-domain message crosses at least one mesh hop
+		// (router + link + one flit), and fault delays only add latency.
+		lookahead := cfg.Mesh.RouterDelay + cfg.Mesh.LinkDelay + 1
+		m.sharded = sim.NewSharded(domShard, lookahead)
+		m.Eng = m.sharded.Eng(0)
+		for d := 0; d < nd; d++ {
+			m.doms = append(m.doms, &domain{
+				idx: int32(d), eng: m.sharded.Eng(domShard[d]), st: &Stats{cfg: cfg},
+			})
+		}
+	} else {
+		m.Eng = sim.NewEngine()
+		m.doms = []*domain{{idx: 0, eng: m.Eng, st: &m.Stats}}
+	}
+
 	m.stepFn = func(arg interface{}, _ uint64) { m.step(arg.(*vcpu)) }
 	m.resumeFn = func(arg interface{}, _ uint64) {
 		v := arg.(*vcpu)
@@ -142,6 +206,43 @@ func New(cfg Config) (*Machine, error) {
 		mcNodes[i] = m.Net.Attach(cornerXY[i][0], cornerXY[i][1], nil)
 	}
 
+	// Domain ownership: cores by mesh quadrant, memory controller i at
+	// corner i (which is quadrant i). In legacy mode the single domain owns
+	// everything. Then hand the network the partition so intra-domain
+	// traffic keeps full contention while cross-domain messages are
+	// delivered at zero-load latency into the destination domain's queue.
+	if m.sharded != nil {
+		for i := 0; i < cfg.Cores; i++ {
+			d := quadrant(i, cfg.Mesh.Width)
+			m.doms[d].cores = append(m.doms[d].cores, i)
+		}
+		for i := 0; i < cfg.MCs; i++ {
+			m.doms[i].mcs = append(m.doms[i].mcs, i)
+		}
+		nodeDom := make([]int32, cfg.Cores+cfg.MCs)
+		for i := 0; i < cfg.Cores; i++ {
+			nodeDom[coreNodes[i]] = int32(quadrant(i, cfg.Mesh.Width))
+		}
+		for i := 0; i < cfg.MCs; i++ {
+			nodeDom[mcNodes[i]] = int32(i)
+		}
+		engs := make([]*sim.Engine, len(m.doms))
+		for d, dom := range m.doms {
+			engs[d] = dom.eng
+		}
+		m.Net.Partition(nodeDom, engs)
+	} else {
+		d := m.doms[0]
+		for i := 0; i < cfg.Cores; i++ {
+			d.cores = append(d.cores, i)
+		}
+		if !cfg.Directory { // directory mode uses homes, not token MCs
+			for i := 0; i < cfg.MCs; i++ {
+				d.mcs = append(d.mcs, i)
+			}
+		}
+	}
+
 	// Caches + filter.
 	l2s := make([]*cache.Cache, cfg.Cores)
 	for i := range l2s {
@@ -155,7 +256,7 @@ func New(cfg Config) (*Machine, error) {
 	dirParams.L2Latency, dirParams.FillLatency = cfg.P.L2Latency, cfg.P.FillLatency
 	dirParams.DRAMLatency = cfg.P.DRAMLatency
 	for i := 0; i < cfg.Cores; i++ {
-		cn := &coreNode{idx: i, node: coreNodes[i], l2: l2s[i], l1: cache.New(cfg.L1), tlb: tlb.New(cfg.TLB)}
+		cn := &coreNode{idx: i, node: coreNodes[i], dom: m.domOfCore(i), l2: l2s[i], l1: cache.New(cfg.L1), tlb: tlb.New(cfg.TLB)}
 		if cfg.Directory {
 			cn.dctrl = &directory.CacheCtrl{
 				Eng: m.Eng, Net: m.Net, Node: coreNodes[i], Core: i,
@@ -172,7 +273,7 @@ func New(cfg Config) (*Machine, error) {
 				}
 			}
 			cn.ctrl = &token.CacheCtrl{
-				Eng: m.Eng, Net: m.Net, Node: coreNodes[i], Core: i,
+				Eng: cn.dom.eng, Net: m.Net, Node: coreNodes[i], Core: i,
 				L2: cn.l2, P: cfg.P, Router: m.Filter,
 				AllCores: others, MCNodes: mcNodes,
 				Rng: sim.NewRandTagged(cfg.Seed, fmt.Sprintf("ctrl%d", i)),
@@ -210,7 +311,11 @@ func New(cfg Config) (*Machine, error) {
 		}
 	} else {
 		for i := 0; i < cfg.MCs; i++ {
-			mc := &memctrl.Ctrl{Eng: m.Eng, Net: m.Net, Node: mcNodes[i], P: cfg.P,
+			mcEng := m.Eng
+			if m.sharded != nil {
+				mcEng = m.doms[i].eng // MC i sits at corner i = quadrant i
+			}
+			mc := &memctrl.Ctrl{Eng: mcEng, Net: m.Net, Node: mcNodes[i], P: cfg.P,
 				AllCaches: coreNodes, Oracle: m}
 			mc.Init()
 			m.Net.SetHandler(mcNodes[i], mc.Handle)
@@ -237,6 +342,12 @@ func New(cfg Config) (*Machine, error) {
 	if cfg.Fault.Active() && !cfg.Directory {
 		m.Injector = fault.NewInjector(cfg.Fault, cfg.Seed)
 		m.Injector.Attach(m.Net, mcNodes)
+		if m.sharded != nil {
+			// Per-source-node fault streams: each endpoint's faults draw
+			// from its own seeded sequence, consumed in that endpoint's
+			// deterministic send order — reproducible for any shard count.
+			m.Injector.EnablePerNode(cfg.Cores + cfg.MCs)
+		}
 		m.Filter.DegradationEnabled = true
 		for _, cn := range m.cores {
 			cn.ctrl.Esc = m.Filter
@@ -257,27 +368,87 @@ func New(cfg Config) (*Machine, error) {
 	// the periodic checker. Observation-only, so results are identical
 	// with or without it; a fault plan always implies it.
 	if (cfg.Checks || cfg.Fault.Active()) && !cfg.Directory {
-		m.ledger = check.NewLedger()
 		ctrls := make([]*token.CacheCtrl, len(m.cores))
-		for i, cn := range m.cores {
-			cn.ctrl.Obs = m.ledger
-			ctrls[i] = cn.ctrl
-		}
-		for _, mc := range m.mcs {
-			mc.Obs = m.ledger
-		}
 		ageLimit := cfg.TxnAgeLimit
 		if ageLimit == 0 {
 			ageLimit = 500_000
 		}
-		m.Checker = &check.Checker{Eng: m.Eng, Period: cfg.CheckPeriod}
-		m.Checker.Add(check.TokenConservation(cfg.P.TotalTokens, l2s, m.mcs, m.ledger))
-		m.Checker.Add(check.SingleWriter(cfg.P.TotalTokens, l2s))
-		m.Checker.Add(check.TxnCompletion(m.Eng, ctrls, ageLimit))
+		if m.sharded != nil {
+			// One token-custody ledger per domain: controllers report to
+			// their own domain's ledger (per-ledger balances may go negative
+			// on cross-domain transfers; conservation sums across ledgers).
+			// The checker runs at window boundaries on the barrier leader —
+			// every shard quiesced — against the published window clock.
+			m.ledgers = make([]*check.Ledger, len(m.doms))
+			for d := range m.ledgers {
+				m.ledgers[d] = check.NewLedger()
+			}
+			for i, cn := range m.cores {
+				cn.ctrl.Obs = m.ledgers[cn.dom.idx]
+				ctrls[i] = cn.ctrl
+			}
+			for i, mc := range m.mcs {
+				mc.Obs = m.ledgers[m.doms[i].idx]
+			}
+			nowFn := func() sim.Cycle { return m.chkNow }
+			m.Checker = &check.Checker{Period: cfg.CheckPeriod, Now: nowFn}
+			m.Checker.Add(check.TokenConservation(cfg.P.TotalTokens, l2s, m.mcs, m.ledgers...))
+			m.Checker.Add(check.SingleWriter(cfg.P.TotalTokens, l2s))
+			m.Checker.Add(check.TxnCompletion(nowFn, ctrls, ageLimit))
+		} else {
+			m.ledger = check.NewLedger()
+			for i, cn := range m.cores {
+				cn.ctrl.Obs = m.ledger
+				ctrls[i] = cn.ctrl
+			}
+			for _, mc := range m.mcs {
+				mc.Obs = m.ledger
+			}
+			m.Checker = &check.Checker{Eng: m.Eng, Period: cfg.CheckPeriod}
+			m.Checker.Add(check.TokenConservation(cfg.P.TotalTokens, l2s, m.mcs, m.ledger))
+			m.Checker.Add(check.SingleWriter(cfg.P.TotalTokens, l2s))
+			m.Checker.Add(check.TxnCompletion(m.Eng.Now, ctrls, ageLimit))
+		}
 	}
 
 	m.setupVMs()
+
+	// Sharded post-setup wiring. Page allocation must not depend on the
+	// shard interleaving of first touches, every vCPU belongs to its VM's
+	// quadrant domain, and (under faults) each VM's degradation machinery
+	// is confined to its quadrant's caches and clock.
+	if m.sharded != nil {
+		m.MM.PreallocateAll()
+		if m.Injector != nil {
+			for q := 0; q < cfg.VMs; q++ {
+				m.Filter.SetVMScope(mem.VMID(q), m.doms[q].cores, m.doms[q].eng)
+			}
+		}
+	}
+	for _, v := range m.vcpus {
+		d := m.doms[0]
+		if m.sharded != nil {
+			d = m.doms[int(v.id.VM)] // placeVMs pins VM q to quadrant q
+		}
+		v.dom = d
+		d.nvcpus++
+	}
 	return m, nil
+}
+
+// quadrant returns the snoop-domain index of core i on a width-w mesh
+// partitioned into 2x2-quadrant domains.
+func quadrant(i, w int) int {
+	x, y := i%w, i/w
+	return (x / 2) + 2*(y/2)
+}
+
+// domOfCore returns the domain owning core i.
+func (m *Machine) domOfCore(i int) *domain {
+	if m.sharded == nil {
+		return m.doms[0]
+	}
+	return m.doms[quadrant(i, m.cfg.Mesh.Width)]
 }
 
 // migrationStorm performs up to pairs cross-VM vCPU swaps back-to-back (a
@@ -442,6 +613,9 @@ func (m *Machine) Run() *Stats {
 // Stats are valid even on error — they describe the run up to the failure,
 // which is exactly what a livelock diagnosis needs.
 func (m *Machine) RunChecked() (*Stats, error) {
+	if m.sharded != nil {
+		return m.runSharded()
+	}
 	cfg := m.cfg
 	if cfg.MigrationPeriodMs > 0 {
 		sh := &hv.Shuffler{
@@ -461,11 +635,12 @@ func (m *Machine) RunChecked() (*Stats, error) {
 		limit = 10_000_000
 	}
 	m.Eng.SetProgressLimit(limit)
-	m.liveVCPUs = len(m.vcpus)
+	d := m.doms[0]
+	d.live = len(m.vcpus)
 	if cfg.WarmupRefs > 0 {
-		m.warmLeft = len(m.vcpus)
+		d.warmLeft = len(m.vcpus)
 	} else {
-		m.warmed = true
+		d.warmed = true
 	}
 	for i, v := range m.vcpus {
 		m.Eng.ScheduleFn(sim.Cycle(i), m.stepFn, v, 0)
@@ -478,21 +653,81 @@ func (m *Machine) RunChecked() (*Stats, error) {
 	return &m.Stats, err
 }
 
+// runSharded executes a domain-partitioned run on the parallel engine:
+// conservative window synchronization over the per-domain event queues,
+// with the invariant checker driven at window boundaries (every shard
+// quiesced) instead of by self-scheduled engine events. The semantic event
+// ordering is fixed by the domain partition, so any shard count — including
+// the degenerate K=1 — produces identical results.
+func (m *Machine) runSharded() (*Stats, error) {
+	cfg := m.cfg
+	limit := cfg.ProgressLimit
+	if limit == 0 {
+		limit = 10_000_000
+	}
+	m.sharded.SetProgressLimit(limit)
+	m.sharded.MaxSteps = cfg.MaxSteps
+	for _, d := range m.doms {
+		d.live = d.nvcpus
+		if cfg.WarmupRefs > 0 {
+			d.warmLeft = d.nvcpus
+		} else {
+			d.warmed = true
+		}
+	}
+	for i, v := range m.vcpus {
+		v.dom.eng.SetCurDomain(v.dom.idx)
+		v.dom.eng.ScheduleFn(sim.Cycle(i), m.stepFn, v, 0)
+	}
+	if m.Checker != nil {
+		period := cfg.CheckPeriod
+		if period <= 0 {
+			period = 5000
+		}
+		next := period
+		m.sharded.OnWindow = func(now sim.Cycle) error {
+			if now >= next {
+				m.chkNow = now
+				m.Checker.CheckNow()
+				next = (now/period + 1) * period
+			}
+			return nil
+		}
+	}
+	err := m.sharded.Run()
+	if err == nil {
+		live := 0
+		for _, d := range m.doms {
+			live += d.live
+		}
+		if live > 0 {
+			err = fmt.Errorf("system: event queue drained with %d unfinished vCPUs", live)
+		}
+	}
+	if err == nil && m.Checker != nil {
+		m.chkNow = m.sharded.Now()
+		m.Checker.CheckNow() // final sweep at quiescence
+	}
+	m.finalizeStats()
+	return &m.Stats, err
+}
+
 // runUntilDone drains events until every vCPU finished. The shuffler and
-// checker keep the queue non-empty, so step until liveVCPUs reaches zero,
-// failing on a watchdog trip or an exhausted step budget.
+// checker keep the queue non-empty, so step until the live count reaches
+// zero, failing on a watchdog trip or an exhausted step budget.
 func (m *Machine) runUntilDone() error {
 	var steps uint64
-	for m.liveVCPUs > 0 {
+	d := m.doms[0]
+	for d.live > 0 {
 		ok, err := m.Eng.StepChecked()
 		if err != nil {
 			return err
 		}
 		if !ok {
-			return fmt.Errorf("system: event queue drained with %d unfinished vCPUs", m.liveVCPUs)
+			return fmt.Errorf("system: event queue drained with %d unfinished vCPUs", d.live)
 		}
 		steps++
-		if m.cfg.MaxSteps > 0 && steps >= m.cfg.MaxSteps && m.liveVCPUs > 0 {
+		if m.cfg.MaxSteps > 0 && steps >= m.cfg.MaxSteps && d.live > 0 {
 			return &sim.StepLimitError{Limit: m.cfg.MaxSteps, Now: m.Eng.Now(), Pending: m.Eng.Pending()}
 		}
 	}
@@ -501,20 +736,21 @@ func (m *Machine) runUntilDone() error {
 
 // step issues the next reference of v on its current core.
 func (m *Machine) step(v *vcpu) {
-	m.Eng.Progress() // a vCPU advancing its stream is forward progress
+	d := v.dom
+	d.eng.Progress() // a vCPU advancing its stream is forward progress
 	if v.left == 0 {
-		m.liveVCPUs--
-		if m.Stats.ExecCycles < uint64(m.Eng.Now()) {
-			m.Stats.ExecCycles = uint64(m.Eng.Now())
+		d.live--
+		if d.st.ExecCycles < uint64(d.eng.Now()) {
+			d.st.ExecCycles = uint64(d.eng.Now())
 		}
 		return
 	}
 	v.left--
 	v.executed++
-	if !m.warmed && v.executed == m.cfg.WarmupRefs {
-		m.warmLeft--
-		if m.warmLeft == 0 {
-			m.takeSnapshot()
+	if !d.warmed && v.executed == m.cfg.WarmupRefs {
+		d.warmLeft--
+		if d.warmLeft == 0 {
+			m.takeSnapshot(d)
 		}
 	}
 	m.issueRef(v, v.gen.Next())
@@ -544,7 +780,8 @@ func (m *Machine) issueRef(v *vcpu, ref workload.Ref) {
 // execute performs one memory reference on core cn.
 func (m *Machine) execute(v *vcpu, cn *coreNode, ref workload.Ref) {
 	cfg := m.cfg
-	st := &m.Stats
+	d := v.dom
+	st := d.st
 
 	// Translate: context decides the address space and attribution.
 	var (
@@ -571,7 +808,7 @@ func (m *Machine) execute(v *vcpu, cn *coreNode, ref workload.Ref) {
 				c.tlb.Shootdown(v.id.VM, ref.Page)
 			}
 			v.pending = ref
-			m.Eng.ScheduleFn(cfg.CowLatency, m.resumeFn, v, 0)
+			d.eng.ScheduleFn(cfg.CowLatency, m.resumeFn, v, 0)
 			return
 		}
 		host, ptype, tagVM = tr.Host, tr.Type, v.id.VM
@@ -587,7 +824,7 @@ func (m *Machine) execute(v *vcpu, cn *coreNode, ref workload.Ref) {
 		// (re-entering through the occupancy check: the core may have been
 		// claimed, or the vCPU relocated, during the walk).
 		v.pending = ref
-		m.Eng.ScheduleFn(walk, m.resumeFn, v, 0)
+		d.eng.ScheduleFn(walk, m.resumeFn, v, 0)
 		return
 	}
 
@@ -624,20 +861,20 @@ func (m *Machine) execute(v *vcpu, cn *coreNode, ref workload.Ref) {
 
 	// L2 miss or upgrade: coherence transaction.
 	st.recordL2Miss(v.id.VM, ref.Ctx, ptype)
-	if m.DebugMissHook != nil && m.warmed && ref.Ctx == workload.CtxGuest {
+	if m.DebugMissHook != nil && d.warmed && ref.Ctx == workload.CtxGuest {
 		m.DebugMissHook(int(ref.Page), ref.Write)
 	}
 	if ptype == mem.PageROShared {
-		m.classifyHolder(addr, v.id.VM)
+		m.classifyHolder(st, addr, v.id.VM)
 	}
-	start := m.Eng.Now()
+	start := d.eng.Now()
 	cn.start(addr, tagVM, ptype, ref.Write, func() {
-		st.MissLatency.Observe(float64(m.Eng.Now() - start))
+		st.MissLatency.Observe(float64(d.eng.Now() - start))
 		m.l1Fill(cn, addr, tagVM, ref.Write)
 		// Free a waiting relocated vCPU, then continue this stream.
 		if w := cn.waiter; w != nil {
 			cn.waiter = nil
-			m.Eng.Schedule(0, w)
+			d.eng.Schedule(0, w)
 		}
 		m.finish(v, 0)
 	})
@@ -655,7 +892,7 @@ func (m *Machine) l1Fill(cn *coreNode, addr mem.BlockAddr, vm mem.VMID, write bo
 
 // finish schedules the vCPU's next reference after latency + think time.
 func (m *Machine) finish(v *vcpu, latency sim.Cycle) {
-	m.Eng.ScheduleFn(latency+m.cfg.ThinkCycles, m.stepFn, v, 0)
+	v.dom.eng.ScheduleFn(latency+m.cfg.ThinkCycles, m.stepFn, v, 0)
 }
 
 // L2 exposes core i's L2 cache (tests and invariant checks).

@@ -1,0 +1,181 @@
+package system
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"vsnoop/internal/core"
+	"vsnoop/internal/fault"
+)
+
+// statsEqual compares every exported field of two statistics records,
+// treating the latency sample and removal-period CDF through their summary
+// accessors (their internals hold equivalent but unexported state).
+func statsEqual(t *testing.T, label string, a, b *Stats) {
+	t.Helper()
+	va, vb := reflect.ValueOf(*a), reflect.ValueOf(*b)
+	tp := va.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		f := tp.Field(i)
+		if f.PkgPath != "" || f.Name == "RemovalPeriods" || f.Name == "MissLatency" {
+			continue
+		}
+		if !reflect.DeepEqual(va.Field(i).Interface(), vb.Field(i).Interface()) {
+			t.Errorf("%s: field %s differs: %v vs %v",
+				label, f.Name, va.Field(i).Interface(), vb.Field(i).Interface())
+		}
+	}
+	if a.MissLatency.N() != b.MissLatency.N() || a.MissLatency.Mean() != b.MissLatency.Mean() {
+		t.Errorf("%s: miss latency differs: %d/%v vs %d/%v", label,
+			a.MissLatency.N(), a.MissLatency.Mean(), b.MissLatency.N(), b.MissLatency.Mean())
+	}
+	an, bn := 0, 0
+	if a.RemovalPeriods != nil {
+		an = a.RemovalPeriods.N()
+	}
+	if b.RemovalPeriods != nil {
+		bn = b.RemovalPeriods.N()
+	}
+	if an != bn {
+		t.Errorf("%s: removal periods differ: %d vs %d", label, an, bn)
+	}
+}
+
+// TestShardCountBitIdentical is the core guarantee of the parallel engine:
+// for every snoop policy x content policy, running with 1, 2, or 4 shards
+// produces statistics identical to the serial run. The semantic event order
+// is fixed by the configuration alone; the shard count only picks how many
+// goroutines execute it.
+func TestShardCountBitIdentical(t *testing.T) {
+	policies := []core.Policy{
+		core.PolicyBroadcast, core.PolicyBase, core.PolicyCounter,
+		core.PolicyCounterThreshold, core.PolicyCounterFlush,
+	}
+	contents := []core.ContentPolicy{
+		core.ContentBroadcast, core.ContentMemoryDirect,
+		core.ContentIntraVM, core.ContentFriendVM,
+	}
+	for _, pol := range policies {
+		for _, con := range contents {
+			pol, con := pol, con
+			t.Run(fmt.Sprintf("%v_%v", pol, con), func(t *testing.T) {
+				run := func(shards int) *Stats {
+					cfg := DefaultConfig()
+					cfg.RefsPerVCPU = 1200
+					cfg.WarmupRefs = 200
+					cfg.Filter.Policy = pol
+					cfg.Filter.Content = con
+					cfg.Shards = shards
+					return runCfg(t, cfg)
+				}
+				serial := run(0)
+				for _, k := range []int{1, 2, 4} {
+					statsEqual(t, fmt.Sprintf("shards=%d", k), serial, run(k))
+				}
+			})
+		}
+	}
+}
+
+// TestShardedFaultBitIdentical extends the guarantee to probabilistic fault
+// injection: per-node fault streams make drops, duplicates, and delays a
+// function of (seed, node) rather than global arrival order, so a moderate
+// fault plan stays bit-identical across shard counts too.
+func TestShardedFaultBitIdentical(t *testing.T) {
+	run := func(shards int) *Stats {
+		cfg := DefaultConfig()
+		cfg.RefsPerVCPU = 1500
+		cfg.WarmupRefs = 300
+		cfg.Filter.Policy = core.PolicyCounter
+		cfg.NoHypervisor = true
+		cfg.Fault = fault.Moderate(7)
+		cfg.Shards = shards
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.RunChecked()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	serial := run(0)
+	if serial.FaultsDropped == 0 && serial.FaultsBounced == 0 && serial.FaultsDelayed == 0 {
+		t.Fatal("fault plan injected nothing")
+	}
+	if serial.InvariantChecks == 0 {
+		t.Fatal("checker never ran")
+	}
+	for _, k := range []int{1, 2, 4} {
+		statsEqual(t, fmt.Sprintf("shards=%d", k), serial, run(k))
+	}
+}
+
+// TestShardedHypervisorBitIdentical covers the hypervisor/dom0 activity
+// paths (shared hv pages are cacheable across quadrants; only their state
+// ownership is partitioned).
+func TestShardedHypervisorBitIdentical(t *testing.T) {
+	run := func(shards int) *Stats {
+		cfg := DefaultConfig()
+		cfg.RefsPerVCPU = 1200
+		cfg.WarmupRefs = 200
+		cfg.NoHypervisor = false
+		cfg.Shards = shards
+		return runCfg(t, cfg)
+	}
+	serial := run(0)
+	for _, k := range []int{2, 4} {
+		statsEqual(t, fmt.Sprintf("shards=%d", k), serial, run(k))
+	}
+}
+
+// TestNonShardableIgnoresShards pins the fallback: a configuration outside
+// the quadrant-partition invariant (here, migration) runs on the legacy
+// serial engine for any Shards value, with identical results.
+func TestNonShardableIgnoresShards(t *testing.T) {
+	run := func(shards int) *Stats {
+		cfg := DefaultConfig()
+		cfg.RefsPerVCPU = 1000
+		cfg.MigrationPeriodMs = 2
+		cfg.CyclesPerMs = 12000
+		cfg.Shards = shards
+		return runCfg(t, cfg)
+	}
+	if cfg := (Config{}); cfg.shardable() {
+		t.Fatal("zero config must not be shardable")
+	}
+	statsEqual(t, "shards=4", run(0), run(4))
+}
+
+// TestShardRaceSoak is the data-race soak: a 4-shard run under the moderate
+// fault plan with invariant checks, sized to spend real time in the barrier
+// protocol. Its value is under -race (the CI soak job); without -race it is
+// a cheap smoke test.
+func TestShardRaceSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test is slow")
+	}
+	cfg := DefaultConfig()
+	cfg.RefsPerVCPU = 4000
+	cfg.WarmupRefs = 500
+	cfg.Filter.Policy = core.PolicyCounterThreshold
+	cfg.NoHypervisor = true
+	cfg.Fault = fault.Moderate(11)
+	cfg.Shards = 4
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.RunChecked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.InvariantViolations) != 0 {
+		t.Fatalf("invariants violated: %v", st.InvariantViolations)
+	}
+	if st.Transactions == 0 || st.EventsFired == 0 {
+		t.Fatalf("no activity: %d transactions, %d events", st.Transactions, st.EventsFired)
+	}
+}

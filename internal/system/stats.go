@@ -1,10 +1,20 @@
 package system
 
 import (
+	"sync/atomic"
+
 	"vsnoop/internal/mem"
 	"vsnoop/internal/stats"
 	"vsnoop/internal/workload"
 )
+
+// totalEvents accumulates EventsFired across every run in the process; the
+// CLI throughput footers read it via TotalEventsFired.
+var totalEvents atomic.Uint64
+
+// TotalEventsFired returns the simulator events executed by all runs in
+// this process so far. Monotone; each run adds its count as it finalizes.
+func TotalEventsFired() uint64 { return totalEvents.Load() }
 
 // Stats aggregates everything the paper's tables and figures need from one
 // run. Raw counters are filled during the run; finalizeStats folds in the
@@ -74,6 +84,11 @@ type Stats struct {
 
 	MissLatency stats.Sample
 
+	// EventsFired counts the discrete events executed by the engine(s) over
+	// the whole run — the simulator's own work metric (events/sec in the
+	// report footer). Never warmup-adjusted.
+	EventsFired uint64
+
 	// Robustness counters (fault injection, graceful degradation, and
 	// invariant checking). Whole-run, never warmup-adjusted: faults and
 	// checks span the entire run including warmup.
@@ -110,21 +125,33 @@ type snapshot struct {
 
 func (s *Stats) init(cfg Config) { s.cfg = cfg }
 
-// takeSnapshot freezes the warmup-phase counters.
-func (m *Machine) takeSnapshot() {
-	m.warmed = true
-	s := &m.Stats
+// takeSnapshot freezes domain d's warmup-phase counters. It runs when the
+// last vCPU of the domain crosses WarmupRefs, and reads only state owned by
+// the domain (its cores' controllers, its corner memory controller, its
+// traffic slot, its engine's clock) — deterministic per domain, and safe
+// while other shards execute concurrently. The legacy single domain owns
+// everything, so this is exactly the old whole-machine snapshot there.
+func (m *Machine) takeSnapshot(d *domain) {
+	d.warmed = true
+	s := d.st
+	var bh, by, ms uint64
+	if m.sharded != nil {
+		bh, by, ms = m.Net.DomainTraffic(int(d.idx))
+	} else {
+		bh, by, ms = m.Net.ByteHops, m.Net.Bytes, m.Net.Messages
+	}
 	w := snapshot{
 		l1Acc: s.L1Accesses, l1AccC: s.L1AccessesContent, l2Acc: s.L2Accesses,
 		l2Miss: s.L2Misses, l2MissC: s.L2MissesContent,
 		l2G: s.L2MissesGuest, l2X: s.L2MissesXen, l2D: s.L2MissesDom0,
 		hMem: s.HolderMemory, hIntra: s.HolderIntraVM,
 		hFriend: s.HolderFriend, hOther: s.HolderOther,
-		byteHops: m.Net.ByteHops, bytes: m.Net.Bytes, messages: m.Net.Messages,
+		byteHops: bh, bytes: by, messages: ms,
 		cows:  m.MM.CowCount,
-		cycle: uint64(m.Eng.Now()),
+		cycle: uint64(d.eng.Now()),
 	}
-	for _, cn := range m.cores {
+	for _, ci := range d.cores {
+		cn := m.cores[ci]
 		if cn.dctrl != nil {
 			w.txns += cn.dctrl.Stats.Transactions
 			w.writebacks += cn.dctrl.Stats.Writebacks
@@ -137,9 +164,9 @@ func (m *Machine) takeSnapshot() {
 		w.persist += cn.ctrl.Stats.Persistent
 		w.writebacks += cn.ctrl.Stats.Writebacks
 	}
-	for _, mc := range m.mcs {
-		w.dramR += mc.Stats.DRAMReads
-		w.dramW += mc.Stats.DRAMWrites
+	for _, mi := range d.mcs {
+		w.dramR += m.mcs[mi].Stats.DRAMReads
+		w.dramW += m.mcs[mi].Stats.DRAMWrites
 	}
 	for _, h := range m.homes {
 		w.dramR += h.Stats.DRAMReads
@@ -173,8 +200,7 @@ func (s *Stats) recordL2Miss(vm mem.VMID, ctx workload.Ctx, pt mem.PageType) {
 
 // classifyHolder implements the Table VI measurement: at an L2 miss on a
 // content-shared page, find the best possible data holder.
-func (m *Machine) classifyHolder(addr mem.BlockAddr, vm mem.VMID) {
-	st := &m.Stats
+func (m *Machine) classifyHolder(st *Stats, addr mem.BlockAddr, vm mem.VMID) {
 	friend, hasFriend := m.MM.FriendOf(vm)
 	intra, fr, other := false, false, false
 	for _, cn := range m.cores {
@@ -203,7 +229,47 @@ func (m *Machine) classifyHolder(addr mem.BlockAddr, vm mem.VMID) {
 	}
 }
 
+// applyWarm subtracts the warmup-phase snapshot so the reported statistics
+// cover only the measured phase. No-op when no snapshot was taken.
+func (s *Stats) applyWarm() {
+	if !s.hasWarm {
+		return
+	}
+	w := s.warm
+	s.L1Accesses -= w.l1Acc
+	s.L1AccessesContent -= w.l1AccC
+	s.L2Accesses -= w.l2Acc
+	s.L2Misses -= w.l2Miss
+	s.L2MissesContent -= w.l2MissC
+	s.L2MissesGuest -= w.l2G
+	s.L2MissesXen -= w.l2X
+	s.L2MissesDom0 -= w.l2D
+	s.HolderMemory -= w.hMem
+	s.HolderIntraVM -= w.hIntra
+	s.HolderFriend -= w.hFriend
+	s.HolderOther -= w.hOther
+	s.SnoopsIssued -= w.snoops
+	s.SnoopLookups -= w.lookups
+	s.Transactions -= w.txns
+	s.Retries -= w.retries
+	s.Persistent -= w.persist
+	s.Writebacks -= w.writebacks
+	s.DRAMReads -= w.dramR
+	s.DRAMWrites -= w.dramW
+	s.ByteHops -= w.byteHops
+	s.Bytes -= w.bytes
+	s.Messages -= w.messages
+	s.Cows -= w.cows
+	if s.ExecCycles >= w.cycle {
+		s.ExecCycles -= w.cycle
+	}
+}
+
 func (m *Machine) finalizeStats() {
+	if m.sharded != nil {
+		m.finalizeSharded()
+		return
+	}
 	s := &m.Stats
 	for _, cn := range m.cores {
 		if cn.dctrl != nil {
@@ -246,12 +312,12 @@ func (m *Machine) finalizeStats() {
 	s.Relocations = m.Mapper.Relocations
 	s.RemovalPeriods = &m.Filter.RemovalPeriods
 
-	s.FallbackCounterAug = m.Filter.FallbackCounterAug
-	s.FallbackBroadcast = m.Filter.FallbackBroadcast
-	s.MapRebuilds = m.Filter.MapRebuilds
-	s.CounterUnderflows = m.Filter.Underflows
+	s.FallbackCounterAug = m.Filter.FallbackCounterAug()
+	s.FallbackBroadcast = m.Filter.FallbackBroadcast()
+	s.MapRebuilds = m.Filter.MapRebuilds()
+	s.CounterUnderflows = m.Filter.Underflows()
 	if m.Injector != nil {
-		fs := m.Injector.Stats
+		fs := m.Injector.TotalStats()
 		s.FaultsDropped = fs.Dropped
 		s.FaultsBounced = fs.Bounced
 		s.FaultsDuplicated = fs.Duplicated
@@ -264,37 +330,97 @@ func (m *Machine) finalizeStats() {
 		s.InvariantChecks = m.Checker.Checks
 		s.InvariantViolations = m.Checker.Violations
 	}
+	s.EventsFired = m.Eng.Fired()
+	totalEvents.Add(s.EventsFired)
 
-	if s.hasWarm {
-		w := s.warm
-		s.L1Accesses -= w.l1Acc
-		s.L1AccessesContent -= w.l1AccC
-		s.L2Accesses -= w.l2Acc
-		s.L2Misses -= w.l2Miss
-		s.L2MissesContent -= w.l2MissC
-		s.L2MissesGuest -= w.l2G
-		s.L2MissesXen -= w.l2X
-		s.L2MissesDom0 -= w.l2D
-		s.HolderMemory -= w.hMem
-		s.HolderIntraVM -= w.hIntra
-		s.HolderFriend -= w.hFriend
-		s.HolderOther -= w.hOther
-		s.SnoopsIssued -= w.snoops
-		s.SnoopLookups -= w.lookups
-		s.Transactions -= w.txns
-		s.Retries -= w.retries
-		s.Persistent -= w.persist
-		s.Writebacks -= w.writebacks
-		s.DRAMReads -= w.dramR
-		s.DRAMWrites -= w.dramW
-		s.ByteHops -= w.byteHops
-		s.Bytes -= w.bytes
-		s.Messages -= w.messages
-		s.Cows -= w.cows
-		if s.ExecCycles >= w.cycle {
-			s.ExecCycles -= w.cycle
+	s.applyWarm()
+}
+
+// finalizeSharded folds the per-domain statistics into the machine totals.
+// Per-domain sums (controller and DRAM counters, traffic, warm adjustment)
+// happen first, in domain order; then counters add, latency samples merge,
+// and ExecCycles takes the slowest domain. Global state (filter, mapper,
+// memory manager, checker, injector) is read once at the end — the run is
+// quiesced, so everything is stable.
+func (m *Machine) finalizeSharded() {
+	s := &m.Stats
+	for _, d := range m.doms {
+		st := d.st
+		for _, ci := range d.cores {
+			cn := m.cores[ci]
+			st.SnoopsIssued += cn.ctrl.Stats.SnoopsIssued
+			st.SnoopLookups += cn.ctrl.Stats.SnoopLookups
+			st.Transactions += cn.ctrl.Stats.Transactions
+			st.Retries += cn.ctrl.Stats.Retries
+			st.Persistent += cn.ctrl.Stats.Persistent
+			st.Writebacks += cn.ctrl.Stats.Writebacks
+			st.TLBHits += cn.tlb.Stats.Hits
+			st.TLBMisses += cn.tlb.Stats.Misses
+			st.TLBShootdowns += cn.tlb.Stats.Shootdowns
+		}
+		for _, mi := range d.mcs {
+			st.DRAMReads += m.mcs[mi].Stats.DRAMReads
+			st.DRAMWrites += m.mcs[mi].Stats.DRAMWrites
+		}
+		st.ByteHops, st.Bytes, st.Messages = m.Net.DomainTraffic(int(d.idx))
+		st.applyWarm()
+
+		s.SnoopsIssued += st.SnoopsIssued
+		s.SnoopLookups += st.SnoopLookups
+		s.Transactions += st.Transactions
+		s.Retries += st.Retries
+		s.Persistent += st.Persistent
+		s.Writebacks += st.Writebacks
+		s.DRAMReads += st.DRAMReads
+		s.DRAMWrites += st.DRAMWrites
+		s.TLBHits += st.TLBHits
+		s.TLBMisses += st.TLBMisses
+		s.TLBShootdowns += st.TLBShootdowns
+		s.ByteHops += st.ByteHops
+		s.Bytes += st.Bytes
+		s.Messages += st.Messages
+		s.L1Accesses += st.L1Accesses
+		s.L1AccessesContent += st.L1AccessesContent
+		s.L2Accesses += st.L2Accesses
+		s.L2Misses += st.L2Misses
+		s.L2MissesContent += st.L2MissesContent
+		s.L2MissesGuest += st.L2MissesGuest
+		s.L2MissesXen += st.L2MissesXen
+		s.L2MissesDom0 += st.L2MissesDom0
+		s.HolderMemory += st.HolderMemory
+		s.HolderIntraVM += st.HolderIntraVM
+		s.HolderFriend += st.HolderFriend
+		s.HolderOther += st.HolderOther
+		s.MissLatency.Merge(&st.MissLatency)
+		if st.ExecCycles > s.ExecCycles {
+			s.ExecCycles = st.ExecCycles
 		}
 	}
+
+	s.Cows = m.MM.CowCount
+	s.MapSyncs = m.Filter.MapSyncs
+	s.Relocations = m.Mapper.Relocations
+	s.RemovalPeriods = &m.Filter.RemovalPeriods
+	s.FallbackCounterAug = m.Filter.FallbackCounterAug()
+	s.FallbackBroadcast = m.Filter.FallbackBroadcast()
+	s.MapRebuilds = m.Filter.MapRebuilds()
+	s.CounterUnderflows = m.Filter.Underflows()
+	if m.Injector != nil {
+		fs := m.Injector.TotalStats()
+		s.FaultsDropped = fs.Dropped
+		s.FaultsBounced = fs.Bounced
+		s.FaultsDuplicated = fs.Duplicated
+		s.FaultsDelayed = fs.Delayed
+		s.MapCorruptions = fs.MapCorruptions
+		s.CounterCorruptions = fs.CounterCorruptions
+		s.StormRelocations = fs.StormRelocations
+	}
+	if m.Checker != nil {
+		s.InvariantChecks = m.Checker.Checks
+		s.InvariantViolations = m.Checker.Violations
+	}
+	s.EventsFired = m.sharded.Fired()
+	totalEvents.Add(s.EventsFired)
 }
 
 // SnoopsPerTransaction returns the mean cores snooped per transaction.

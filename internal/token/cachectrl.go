@@ -380,6 +380,12 @@ func (c *CacheCtrl) ensureBlock(t *Txn) *cache.Block {
 
 func (c *CacheCtrl) complete(t *Txn, b *cache.Block) {
 	t.completed = true
+	// A completed coherence transaction is forward progress: under a fault
+	// plan's delay storm one reference can legitimately burn through far
+	// more events than usual (every retry re-floods the snoop domain), and
+	// only the reference stream used to feed the watchdog. Auditing here
+	// keeps the no-progress limit meaning "stuck", not "slow".
+	c.Eng.Progress()
 	if t.Write {
 		b.Dirty = true
 		if !b.Owner {

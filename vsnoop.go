@@ -120,6 +120,12 @@ type Config struct {
 	// when it is exhausted (0 = unbounded).
 	MaxSteps uint64
 
+	// Shards is the number of parallel event-queue shards (0 or 1 =
+	// serial). Results are bit-identical for every value; only wall-clock
+	// time changes. Non-shardable configurations (migration, content
+	// sharing, non-default geometries, ...) silently run serially.
+	Shards int
+
 	Seed uint64
 }
 
@@ -241,9 +247,20 @@ type Result struct {
 	// held at every check (the expected outcome under any fault plan).
 	InvariantViolations []string
 
+	// EventsFired is the whole-run simulator event count (never
+	// warmup-adjusted); with wall-clock time it yields events/second, the
+	// engine's throughput metric.
+	EventsFired uint64
+
 	// Stats exposes the full low-level statistics record.
 	Stats *system.Stats
 }
+
+// TotalEventsFired returns the simulator events executed by every run in
+// this process so far (including runs driven through internal/exp rather
+// than Run). It is monotone and safe to read concurrently with in-flight
+// runs: each run adds its count when it finishes.
+func TotalEventsFired() uint64 { return system.TotalEventsFired() }
 
 // Run executes one simulation.
 func Run(cfg Config) (*Result, error) {
@@ -288,6 +305,7 @@ func Run(cfg Config) (*Result, error) {
 	sc.Fault = cfg.Fault.toInternal()
 	sc.Checks = cfg.Checks
 	sc.MaxSteps = cfg.MaxSteps
+	sc.Shards = cfg.Shards
 	if cfg.Seed != 0 {
 		sc.Seed = cfg.Seed
 	}
@@ -321,6 +339,7 @@ func Run(cfg Config) (*Result, error) {
 		MapRebuilds:          st.MapRebuilds,
 		InvariantChecks:      st.InvariantChecks,
 		InvariantViolations:  st.InvariantViolations,
+		EventsFired:          st.EventsFired,
 		Stats:                st,
 	}, nil
 }

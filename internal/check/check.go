@@ -229,7 +229,7 @@ func sumCaches(l2s []*cache.Cache) map[mem.BlockAddr]*holderSum {
 
 func sortedAddrs(m map[mem.BlockAddr]bool) []mem.BlockAddr {
 	out := make([]mem.BlockAddr, 0, len(m))
-	for a := range m {
+	for a := range m { //lint:ordered key harvest only; sorted on the next line
 		out = append(out, a)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -246,14 +246,14 @@ func TokenConservation(total int, l2s []*cache.Cache, mcs []*memctrl.Ctrl, leds 
 	check := func() []string {
 		acc := sumCaches(l2s)
 		universe := make(map[mem.BlockAddr]bool, len(acc))
-		for a := range acc {
+		for a := range acc { //lint:ordered set union; universe is iterated via sortedAddrs only
 			universe[a] = true
 		}
 		for _, mc := range mcs {
 			mc.ForEachLine(func(a mem.BlockAddr, _ int, _ bool) { universe[a] = true })
 		}
 		for _, led := range leds {
-			for a := range led.inflight {
+			for a := range led.inflight { //lint:ordered set union; universe is iterated via sortedAddrs only
 				universe[a] = true
 			}
 		}
@@ -302,7 +302,7 @@ func SingleWriter(total int, l2s []*cache.Cache) Invariant {
 	check := func() []string {
 		acc := sumCaches(l2s)
 		universe := make(map[mem.BlockAddr]bool, len(acc))
-		for a := range acc {
+		for a := range acc { //lint:ordered set union; universe is iterated via sortedAddrs only
 			universe[a] = true
 		}
 		var out []string

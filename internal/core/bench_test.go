@@ -83,6 +83,48 @@ func BenchmarkMapMembership(b *testing.B) {
 	}
 }
 
+// TestHandleRelocateZeroAllocSteadyState gates the vCPU-map update path:
+// once the per-VM register files have grown to cover every VM, a relocation
+// (map add, departure check, counter-triggered removal) allocates nothing.
+func TestHandleRelocateZeroAllocSteadyState(t *testing.T) {
+	f := benchFilter(PolicyCounter)
+	for i := 0; i < 256; i++ {
+		vm := mem.VMID(i & 3)
+		f.HandleRelocate(vm, int(vm)*4, 15-int(vm))
+		f.HandleRelocate(vm, 15-int(vm), int(vm)*4)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			vm := mem.VMID(i & 3)
+			// Bounce between the home core and a far one: every call adds a
+			// map entry and the empty benchmark caches make the departed core
+			// eligible for immediate counter removal.
+			f.HandleRelocate(vm, int(vm)*4, 15-int(vm))
+			f.HandleRelocate(vm, 15-int(vm), int(vm)*4)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state HandleRelocate allocates %.2f per 128-call batch, want 0", avg)
+	}
+}
+
+// TestRouteZeroAllocBroadcast gates Route's no-allocation path: broadcast
+// returns the precomputed shared destination set without copying it.
+func TestRouteZeroAllocBroadcast(t *testing.T) {
+	f := benchFilter(PolicyBroadcast)
+	info := token.RouteInfo{VM: 1, Page: mem.PagePrivate, Requester: 4, CoreNode: 4}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			if len(f.Route(info)) != 15 {
+				t.Fatal("unexpected destination count")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("broadcast Route allocates %.2f per 64-call batch, want 0", avg)
+	}
+}
+
 func BenchmarkRelocationChurn(b *testing.B) {
 	f := benchFilter(PolicyCounter)
 	for i := 0; i < b.N; i++ {

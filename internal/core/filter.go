@@ -247,6 +247,7 @@ func (f *Filter) SetFriend(vm, friend mem.VMID) { f.friends[vm] = friend }
 
 // ensure grows the per-VM register files to cover vm and returns its
 // dense index. Growth happens only on a VM's first appearance.
+//vsnoop:hotpath
 func (f *Filter) ensure(vm mem.VMID) int {
 	d := mem.DenseVM(vm)
 	for (d+1)*f.nw > len(f.mapBits) {
@@ -319,6 +320,7 @@ func (f *Filter) Underflows() uint64 {
 
 // words returns vm's word-slice view of a register file, or nil when the
 // VM has never been seen (a read that must not grow the files).
+//vsnoop:hotpath
 func (f *Filter) words(file []uint64, vm mem.VMID) []uint64 {
 	lo := mem.DenseVM(vm) * f.nw
 	if lo+f.nw > len(file) {
@@ -344,6 +346,7 @@ func popcount(w []uint64) int {
 
 // appendCores appends the endpoints of every set bit except requester, in
 // ascending core order (the deterministic send order).
+//vsnoop:hotpath
 func (f *Filter) appendCores(out []mesh.NodeID, w []uint64, requester int) []mesh.NodeID {
 	for wi, word := range w {
 		base := wi << 6
@@ -362,6 +365,7 @@ func (f *Filter) appendCores(out []mesh.NodeID, w []uint64, requester int) []mes
 // `from` (-1 on first placement) to core `to`. The hypervisor adds the new
 // core to the VM's map before the VM runs there; the old core stays until
 // a counter policy removes it.
+//vsnoop:hotpath
 func (f *Filter) HandleRelocate(vm mem.VMID, from, to int) {
 	d := f.ensure(vm)
 	run := f.runBits[d*f.nw : (d+1)*f.nw]
@@ -406,6 +410,7 @@ func (f *Filter) HandleRelocate(vm mem.VMID, from, to int) {
 }
 
 // tryRemove handles a residence-counter trigger at core for vm.
+//vsnoop:hotpath
 func (f *Filter) tryRemove(vm mem.VMID, core int, count int) {
 	if testBit(f.words(f.runBits, vm), core) {
 		return // still running there: the core must stay in the map
@@ -431,6 +436,7 @@ func (f *Filter) tryFlush(vm mem.VMID, core int, n int) {
 	}
 }
 
+//vsnoop:hotpath
 func (f *Filter) remove(vm mem.VMID, core int) {
 	d := f.ensure(vm)
 	m := f.mapBits[d*f.nw : (d+1)*f.nw]
@@ -567,13 +573,32 @@ func (f *Filter) MapCores(vm mem.VMID) []int {
 func (f *Filter) MapSize(vm mem.VMID) int { return popcount(f.words(f.mapBits, vm)) }
 
 // Contains reports whether core is in vm's map.
+//vsnoop:hotpath
 func (f *Filter) Contains(vm mem.VMID, core int) bool {
 	return testBit(f.words(f.mapBits, vm), core)
+}
+
+// unroutablePanic is Route's cold failure path; it keeps the fmt call out
+// of the annotated hot function.
+func unroutablePanic(p mem.PageType) {
+	panic(fmt.Sprintf("core: unroutable request page=%v", p))
+}
+
+// containsNode reports whether set holds n. Destination sets are bounded by
+// the core count, so a linear scan beats a map and allocates nothing.
+func containsNode(set []mesh.NodeID, n mesh.NodeID) bool {
+	for _, m := range set {
+		if m == n {
+			return true
+		}
+	}
+	return false
 }
 
 // Route implements token.Router: the destination set for one transaction
 // attempt, excluding the requester (which looks up its own cache anyway)
 // and excluding memory (the home controller is always addressed).
+//vsnoop:hotpath
 func (f *Filter) Route(info token.RouteInfo) []mesh.NodeID {
 	if f.cfg.Policy == PolicyBroadcast {
 		return f.allExcept(info.Requester)
@@ -594,12 +619,8 @@ func (f *Filter) Route(info token.RouteInfo) []mesh.NodeID {
 		case ContentFriendVM:
 			out := f.domainExcept(info.VM, info.Requester)
 			if friend, ok := f.friends[info.VM]; ok {
-				seen := make(map[mesh.NodeID]bool, len(out))
-				for _, n := range out {
-					seen[n] = true
-				}
 				for _, n := range f.mapExcept(friend, info.Requester) {
-					if !seen[n] {
+					if !containsNode(out, n) {
 						out = append(out, n)
 					}
 				}
@@ -607,12 +628,14 @@ func (f *Filter) Route(info token.RouteInfo) []mesh.NodeID {
 			return out
 		}
 	}
-	panic(fmt.Sprintf("core: unroutable request page=%v", info.Page))
+	unroutablePanic(info.Page)
+	return nil
 }
 
 // allExcept returns the broadcast destination set excluding the requester.
 // The returned slice is a shared precomputed set with exact capacity: callers
 // may read or append (append copies) but must never write in place.
+//vsnoop:hotpath
 func (f *Filter) allExcept(requester int) []mesh.NodeID {
 	return f.allBut[requester]
 }
@@ -621,6 +644,7 @@ func (f *Filter) allExcept(requester int) []mesh.NodeID {
 // snoop domain: the plain map normally, the counter-augmented map at
 // suspicion level 1, full broadcast at level 2. With degradation disabled
 // it is exactly mapExcept.
+//vsnoop:hotpath
 func (f *Filter) domainExcept(vm mem.VMID, requester int) []mesh.NodeID {
 	if !f.DegradationEnabled {
 		return f.mapExcept(vm, requester)
@@ -645,6 +669,7 @@ func (f *Filter) domainExcept(vm mem.VMID, requester int) []mesh.NodeID {
 // counterAugExcept returns the map augmented with every core whose
 // residence counter says it still holds the VM's data — the level-1
 // degradation set: cheap to compute, strictly safer than the map alone.
+//vsnoop:hotpath
 func (f *Filter) counterAugExcept(vm mem.VMID, s *vmSlot, requester int) []mesh.NodeID {
 	if s.scratch == nil {
 		s.scratch = make([]uint64, f.nw)
@@ -662,6 +687,7 @@ func (f *Filter) counterAugExcept(vm mem.VMID, s *vmSlot, requester int) []mesh.
 	return f.appendCores(make([]mesh.NodeID, 0, n), w, requester)
 }
 
+//vsnoop:hotpath
 func (f *Filter) mapExcept(vm mem.VMID, requester int) []mesh.NodeID {
 	w := f.words(f.mapBits, vm)
 	if w == nil {

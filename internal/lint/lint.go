@@ -1,0 +1,189 @@
+// Package lint implements vsnoop-lint, a from-scratch static-analysis
+// suite (stdlib only: go/parser, go/ast, go/types, go/importer) guarding
+// the two properties the simulator's correctness story rests on:
+//
+//   - Determinism — a run is a pure function of its configuration, and
+//     sharded replay is bit-identical to serial. The #1 threat is Go map
+//     iteration order; the #2 is wall-clock time and ambient randomness
+//     leaking into simulation code. The maprange and wallclock analyzers
+//     forbid both in the sim-critical packages.
+//   - Hot-path allocation discipline — the PR-2 event kernel is zero-alloc
+//     at steady state, enforced at runtime by AllocsPerRun gates. The
+//     hotalloc analyzer enforces it at the syntax level for every function
+//     annotated `//vsnoop:hotpath`, so a regression is a lint error before
+//     it is a flaky benchmark.
+//   - Shard isolation — under the PR-3 conservative PDES, code reachable
+//     from event handlers runs concurrently on shard goroutines and must
+//     not communicate except through the internal/sim mailbox (deposit)
+//     API. The shardsafe analyzer walks the static call graph from handler
+//     roots and flags goroutine launches, channel operations, and writes
+//     to package-level state.
+//
+// Findings are suppressed only by an explicit waiver comment with a
+// mandatory reason, placed on the offending line or the line above:
+//
+//	//lint:<key> <reason>
+//
+// where <key> is the analyzer's waiver key (ordered, wallclock, alloc,
+// shardsafe). A waiver without a reason is itself a finding and fails the
+// build — waivers document judgment calls, they do not hide them.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation, positioned for editors and CI logs.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	Pkg      string `json:"pkg"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// ReportFn receives one finding from an analyzer, positioned by pos.
+type ReportFn func(pkg *Package, pos token.Pos, msg string)
+
+// Analyzer is one lint rule set.
+type Analyzer struct {
+	Name      string // analyzer name, used in findings and -enable/-disable
+	Doc       string // one-line description
+	WaiverKey string // the //lint:<key> that suppresses its findings
+	Run       func(mod *Module, opts Options, report ReportFn)
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{mapRangeAnalyzer, wallClockAnalyzer, hotAllocAnalyzer, shardSafeAnalyzer}
+}
+
+// CriticalDirs are the sim-critical package directories (relative to the
+// module root) in which nondeterminism is forbidden: everything that
+// executes inside, or feeds state to, the discrete-event simulation.
+var CriticalDirs = []string{
+	"internal/sim", "internal/system", "internal/token", "internal/mesh",
+	"internal/cache", "internal/core", "internal/mem", "internal/memctrl",
+	"internal/stats", "internal/check", "internal/fault", "internal/hv",
+}
+
+// DefaultCritical returns the critical-package predicate for a module: the
+// import path's module-relative suffix must be one of CriticalDirs.
+func DefaultCritical(modPath string) func(pkgPath string) bool {
+	set := make(map[string]bool, len(CriticalDirs))
+	for _, d := range CriticalDirs {
+		set[modPath+"/"+d] = true
+	}
+	return func(p string) bool { return set[p] }
+}
+
+// Options configures a Run.
+type Options struct {
+	// Critical reports whether a package is sim-critical (maprange and
+	// wallclock apply only there; shardsafe roots only there). Nil means
+	// DefaultCritical(mod.Path).
+	Critical func(pkgPath string) bool
+	// Selected filters which packages findings are reported for (the
+	// analysis itself is always whole-module, which shardsafe requires).
+	// Nil selects every package.
+	Selected func(pkgPath string) bool
+	// Disabled names analyzers to skip; Enabled, when non-empty, restricts
+	// the run to exactly those analyzers.
+	Enabled, Disabled map[string]bool
+}
+
+func (o *Options) runs(name string) bool {
+	if o.Disabled[name] {
+		return false
+	}
+	if len(o.Enabled) > 0 {
+		return o.Enabled[name]
+	}
+	return true
+}
+
+// Run executes every enabled analyzer over the module and returns the
+// surviving findings: waived findings are dropped, and waiver-grammar
+// violations (unknown key, missing reason) are appended as findings of the
+// pseudo-analyzer "waiver". The result is sorted by position.
+func Run(mod *Module, opts Options) []Finding {
+	if opts.Critical == nil {
+		opts.Critical = DefaultCritical(mod.Path)
+	}
+	if opts.Selected == nil {
+		opts.Selected = func(string) bool { return true }
+	}
+	ws := collectWaivers(mod)
+
+	var out []Finding
+	for _, a := range Analyzers() {
+		if !opts.runs(a.Name) {
+			continue
+		}
+		a := a
+		a.Run(mod, opts, func(pkg *Package, pos token.Pos, msg string) {
+			if !opts.Selected(pkg.Path) {
+				return
+			}
+			p := mod.Fset.Position(pos)
+			if ws.covers(a.WaiverKey, p) {
+				return
+			}
+			out = append(out, Finding{
+				Analyzer: a.Name, Pkg: pkg.Path,
+				File: relFile(mod, p.Filename), Line: p.Line, Col: p.Column,
+				Message: msg,
+			})
+		})
+	}
+	for _, pr := range ws.problems {
+		if !opts.Selected(pr.pkg) {
+			continue
+		}
+		out = append(out, Finding{
+			Analyzer: "waiver", Pkg: pr.pkg,
+			File: relFile(mod, pr.pos.Filename), Line: pr.pos.Line, Col: pr.pos.Column,
+			Message: pr.msg,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// ExitCode maps a finding list to the driver's process exit code: 0 clean,
+// 1 findings. (Load and type errors exit 2, handled by the driver.)
+func ExitCode(findings []Finding) int {
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relFile shortens an absolute filename to be module-relative when possible.
+func relFile(mod *Module, name string) string {
+	if rel, err := filepath.Rel(mod.Dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return name
+}

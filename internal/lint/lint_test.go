@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureOptions treats every fixture package as sim-critical, so the
+// critical-only analyzers apply to the testdata packages.
+func fixtureOptions() Options {
+	return Options{Critical: func(string) bool { return true }}
+}
+
+// want is one expectation parsed from a `// want "regex"` comment: a
+// finding must appear on the same line with a message matching the regex.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// loadFixture loads testdata/src/<name> as a synthetic module.
+func loadFixture(t *testing.T, name string) *Module {
+	t.Helper()
+	mod, err := LoadTree(filepath.Join("testdata", "src", name), "fix/"+name)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	return mod
+}
+
+// checkFixture runs the full suite over one fixture and verifies the
+// findings against its want comments: every finding needs a matching want
+// on its line, and every want must be consumed.
+func checkFixture(t *testing.T, name string) {
+	t.Helper()
+	mod := loadFixture(t, name)
+
+	var wants []*want
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					idx := strings.Index(c.Text, "// want ")
+					if idx < 0 {
+						continue
+					}
+					p := mod.Fset.Position(c.Pos())
+					for _, m := range wantRE.FindAllStringSubmatch(c.Text[idx:], -1) {
+						re, err := regexp.Compile(m[1])
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regex %q: %v", p.Filename, p.Line, m[1], err)
+						}
+						wants = append(wants, &want{file: relFile(mod, p.Filename), line: p.Line, re: re})
+					}
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no want comments", name)
+	}
+
+	findings := Run(mod, fixtureOptions())
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == f.File && w.line == f.Line && w.re.MatchString(f.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a finding matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestMapRangeFixture(t *testing.T)  { checkFixture(t, "maprange") }
+func TestWallClockFixture(t *testing.T) { checkFixture(t, "wallclock") }
+func TestHotAllocFixture(t *testing.T)  { checkFixture(t, "hotalloc") }
+func TestShardSafeFixture(t *testing.T) { checkFixture(t, "shardsafe") }
+
+// TestWaiverGrammar checks the negative fixture: a reason-less waiver and a
+// misspelled key are findings themselves AND fail to suppress the map
+// iterations they sit on, so the driver exits nonzero.
+func TestWaiverGrammar(t *testing.T) {
+	mod := loadFixture(t, "waiverbad")
+	findings := Run(mod, fixtureOptions())
+
+	countBy := make(map[string]int)
+	for _, f := range findings {
+		countBy[f.Analyzer]++
+	}
+	if countBy["waiver"] != 2 {
+		t.Errorf("want 2 waiver-grammar findings, got %d (all: %v)", countBy["waiver"], findings)
+	}
+	if countBy["maprange"] != 2 {
+		t.Errorf("malformed waivers must not suppress: want 2 maprange findings, got %d (all: %v)",
+			countBy["maprange"], findings)
+	}
+	var sawNoReason, sawUnknownKey bool
+	for _, f := range findings {
+		if f.Analyzer != "waiver" {
+			continue
+		}
+		if strings.Contains(f.Message, "lacks a reason") {
+			sawNoReason = true
+		}
+		if strings.Contains(f.Message, "unknown waiver key sorted") {
+			sawUnknownKey = true
+		}
+	}
+	if !sawNoReason {
+		t.Error("missing finding for the reason-less //lint:ordered")
+	}
+	if !sawUnknownKey {
+		t.Error("missing finding for the misspelled //lint:sorted key")
+	}
+	if got := ExitCode(findings); got != 1 {
+		t.Errorf("driver must exit nonzero on findings: ExitCode = %d, want 1", got)
+	}
+}
+
+// TestExitCode pins the exit-code contract the CI lint job relies on.
+func TestExitCode(t *testing.T) {
+	if got := ExitCode(nil); got != 0 {
+		t.Errorf("ExitCode(nil) = %d, want 0", got)
+	}
+	if got := ExitCode([]Finding{{Analyzer: "maprange"}}); got != 1 {
+		t.Errorf("ExitCode(one finding) = %d, want 1", got)
+	}
+}
+
+// TestAnalyzerSelection checks -enable/-disable semantics: restricting the
+// run to maprange silences the wallclock fixture, and disabling wallclock
+// does the same.
+func TestAnalyzerSelection(t *testing.T) {
+	mod := loadFixture(t, "wallclock")
+
+	opts := fixtureOptions()
+	opts.Enabled = map[string]bool{"maprange": true}
+	if fs := Run(mod, opts); len(fs) != 0 {
+		t.Errorf("enable=maprange on the wallclock fixture: want 0 findings, got %v", fs)
+	}
+
+	opts = fixtureOptions()
+	opts.Disabled = map[string]bool{"wallclock": true}
+	if fs := Run(mod, opts); len(fs) != 0 {
+		t.Errorf("disable=wallclock on the wallclock fixture: want 0 findings, got %v", fs)
+	}
+}
+
+// TestRepoClean is the HEAD-clean acceptance gate: the real module must
+// produce zero findings (true problems fixed, judgment calls waived with
+// reasons). It type-checks the whole repository, so it is the slowest test
+// in the package.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check in -short mode")
+	}
+	mod, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	findings := Run(mod, Options{})
+	for _, f := range findings {
+		t.Errorf("repository not lint-clean: %s", f)
+	}
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mapRangeAnalyzer flags `for ... range` over map-typed expressions in
+// sim-critical packages. Go randomizes map iteration order per run, so a
+// map range in a stats merge, a destination-set scan, or any other
+// sim-visible path silently breaks bit-identical replay — the property the
+// golden rows and the K∈{1,2,4} determinism suites exist to protect. Loops
+// whose effect genuinely cannot depend on order (a commutative sum, a
+// collect-then-sort key harvest) carry a //lint:ordered waiver saying why.
+var mapRangeAnalyzer = &Analyzer{
+	Name:      "maprange",
+	Doc:       "forbids map iteration in sim-critical packages (nondeterministic order)",
+	WaiverKey: "ordered",
+	Run:       runMapRange,
+}
+
+func runMapRange(mod *Module, opts Options, report ReportFn) {
+	for _, pkg := range mod.Pkgs {
+		if !opts.Critical(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := pkg.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					report(pkg, rs.For,
+						"iteration over map "+types.ExprString(rs.X)+
+							" has nondeterministic order; sort the keys, use a dense slice, or waive with //lint:ordered <reason>")
+				}
+				return true
+			})
+		}
+	}
+}

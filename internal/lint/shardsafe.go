@@ -1,0 +1,270 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// shardSafeAnalyzer guards the PR-3 conservative-PDES contract: event
+// handlers run concurrently on shard goroutines, so code reachable from a
+// handler must not communicate except through the internal/sim mailbox API
+// (Engine.ScheduleFnAtDom routes cross-domain events into per-(src,dst)
+// boxes drained at barriers). The analyzer:
+//
+//  1. collects handler roots — function literals and named functions that
+//     are (a) arguments to Schedule / ScheduleAt / ScheduleFn /
+//     ScheduleFnAt / ScheduleFnAtDom / SetHandler / Attach calls, or
+//     (b) used as values of handler shape (func(interface{}) ~
+//     mesh.Handler, func(interface{}, uint64) ~ sim.HandlerFn);
+//  2. walks the static call graph from those roots (direct calls plus any
+//     use of a module function as a value);
+//  3. flags, in every reachable function outside internal/sim, the
+//     constructs that bypass the mailbox: goroutine launches, channel
+//     operations (send, receive, close, select, range-over-channel), and
+//     writes to package-level variables.
+//
+// internal/sim itself is exempt — it IS the mailbox implementation and
+// its internal synchronization (barriers, runner goroutines) is the
+// mechanism the rest of the module is required to use. Dynamic dispatch
+// (interface method calls, func-typed fields) is not resolved; that is a
+// documented soundness limit, mitigated by rooting every handler-shaped
+// function value at its creation site.
+var shardSafeAnalyzer = &Analyzer{
+	Name:      "shardsafe",
+	Doc:       "flags handler-reachable code that bypasses the sim mailbox (goroutines, channels, global writes)",
+	WaiverKey: "shardsafe",
+	Run:       runShardSafe,
+}
+
+// schedulerFuncs are method/function names whose function-typed arguments
+// execute in handler context.
+var schedulerFuncs = map[string]bool{
+	"Schedule": true, "ScheduleAt": true,
+	"ScheduleFn": true, "ScheduleFnAt": true, "ScheduleFnAtDom": true,
+	"SetHandler": true, "Attach": true,
+}
+
+// shardWork is one node of the reachability walk: a function body plus the
+// package whose types.Info describes it.
+type shardWork struct {
+	pkg  *Package
+	name string
+	body *ast.BlockStmt
+}
+
+func runShardSafe(mod *Module, opts Options, report ReportFn) {
+	simPath := mod.Path + "/internal/sim"
+
+	// Registry: every module function with a body, by its types object.
+	type declSite struct {
+		pkg *Package
+		fd  *ast.FuncDecl
+	}
+	registry := make(map[*types.Func]declSite)
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+						registry[obj] = declSite{pkg, fd}
+					}
+				}
+			}
+		}
+	}
+
+	var (
+		queue       []shardWork
+		seenFunc    = make(map[*types.Func]bool)
+		seenLit     = make(map[*ast.FuncLit]bool)
+		rootedUnder = make(map[*ast.FuncLit]bool) // lits enqueued as roots; skip when met inline
+	)
+	enqueueFunc := func(obj *types.Func) {
+		if obj == nil || seenFunc[obj] {
+			return
+		}
+		site, ok := registry[obj]
+		if !ok || site.pkg.Path == simPath {
+			return
+		}
+		seenFunc[obj] = true
+		queue = append(queue, shardWork{site.pkg, obj.Name(), site.fd.Body})
+	}
+	enqueueExpr := func(pkg *Package, e ast.Expr) {
+		switch x := unparen(e).(type) {
+		case *ast.FuncLit:
+			if pkg.Path != simPath && !seenLit[x] {
+				seenLit[x] = true
+				rootedUnder[x] = true
+				queue = append(queue, shardWork{pkg, "func literal", x.Body})
+			}
+		case *ast.Ident:
+			if obj, ok := pkg.Info.Uses[x].(*types.Func); ok {
+				enqueueFunc(obj)
+			}
+		case *ast.SelectorExpr:
+			if obj, ok := pkg.Info.Uses[x.Sel].(*types.Func); ok {
+				enqueueFunc(obj)
+			}
+		}
+	}
+
+	// Root collection: scheduler-call arguments and handler-shaped values.
+	for _, pkg := range mod.Pkgs {
+		if pkg.Path == simPath {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					if sel, ok := unparen(x.Fun).(*ast.SelectorExpr); ok && schedulerFuncs[sel.Sel.Name] {
+						for _, arg := range x.Args {
+							if t := pkg.Info.TypeOf(arg); t != nil {
+								if _, isFn := t.Underlying().(*types.Signature); isFn {
+									enqueueExpr(pkg, arg)
+								}
+							}
+						}
+					}
+				case *ast.FuncLit:
+					if isHandlerShape(pkg.Info.TypeOf(x)) {
+						enqueueExpr(pkg, x)
+					}
+				case *ast.Ident:
+					// Shape-check TypeOf(x), not obj.Type(): a method value's
+					// expression type has the receiver stripped, which is the
+					// shape the handler registries see.
+					if obj, ok := pkg.Info.Uses[x].(*types.Func); ok && isHandlerShape(pkg.Info.TypeOf(x)) {
+						enqueueFunc(obj)
+					}
+				case *ast.SelectorExpr:
+					if obj, ok := pkg.Info.Uses[x.Sel].(*types.Func); ok && isHandlerShape(pkg.Info.TypeOf(x)) {
+						enqueueFunc(obj)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Reachability walk. Func literals nested in a scanned body are scanned
+	// in place (they run, or are re-scheduled, in handler context too).
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		info := w.pkg.Info
+		flag := func(pos token.Pos, what string) {
+			report(w.pkg, pos, "shard-handler-reachable "+w.name+" "+what+
+				"; cross-domain communication must go through the sim mailbox (Engine.ScheduleFnAtDom)")
+		}
+		ast.Inspect(w.body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				if rootedUnder[x] {
+					return false // scanned as its own root
+				}
+				seenLit[x] = true
+			case *ast.GoStmt:
+				flag(x.Pos(), "launches a goroutine")
+			case *ast.SendStmt:
+				flag(x.Pos(), "sends on a channel")
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					flag(x.Pos(), "receives from a channel")
+				}
+			case *ast.SelectStmt:
+				flag(x.Pos(), "selects on channels")
+			case *ast.RangeStmt:
+				if t := info.TypeOf(x.X); t != nil {
+					if _, isCh := t.Underlying().(*types.Chan); isCh {
+						flag(x.For, "ranges over a channel")
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range x.Lhs {
+					if v := packageLevelTarget(info, lhs); v != nil {
+						flag(lhs.Pos(), "writes package-level variable "+v.Name())
+					}
+				}
+			case *ast.IncDecStmt:
+				if v := packageLevelTarget(info, x.X); v != nil {
+					flag(x.Pos(), "writes package-level variable "+v.Name())
+				}
+			case *ast.CallExpr:
+				if builtinName(info, x) == "close" {
+					flag(x.Pos(), "closes a channel")
+				}
+				enqueueExpr(w.pkg, x.Fun)
+			case *ast.Ident:
+				if obj, ok := info.Uses[x].(*types.Func); ok {
+					enqueueFunc(obj)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isHandlerShape reports whether t is one of the two handler signatures:
+// func(interface{}) (mesh.Handler) or func(interface{}, uint64)
+// (sim.HandlerFn). Named types with those underlying shapes match too.
+func isHandlerShape(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Results().Len() != 0 || sig.Recv() != nil {
+		return false
+	}
+	p := sig.Params()
+	switch p.Len() {
+	case 1:
+		return isEmptyInterface(p.At(0).Type())
+	case 2:
+		if !isEmptyInterface(p.At(0).Type()) {
+			return false
+		}
+		b, ok := p.At(1).Type().Underlying().(*types.Basic)
+		return ok && b.Kind() == types.Uint64
+	}
+	return false
+}
+
+func isEmptyInterface(t types.Type) bool {
+	i, ok := t.Underlying().(*types.Interface)
+	return ok && i.NumMethods() == 0
+}
+
+// packageLevelTarget resolves an assignment target to the package-level
+// variable it mutates, or nil. It unwraps selectors, indexing, and derefs
+// to the base identifier: writing g.Field or g[i] mutates g just the same.
+func packageLevelTarget(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.SelectorExpr:
+			// A qualified reference pkg.Var is a base, not a field access.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					e = x.Sel
+					continue
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			v, ok := info.Uses[x].(*types.Var)
+			if ok && isPackageLevel(v) && !strings.HasPrefix(x.Name, "_") {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,73 @@
+// Package hotalloc is a lint fixture: allocation-causing constructs in
+// functions annotated //vsnoop:hotpath.
+package hotalloc
+
+import "fmt"
+
+type sink struct{ vals []int }
+
+// addAll uses only the self-append idiom — never flagged.
+//vsnoop:hotpath
+func (s *sink) addAll(xs []int) {
+	for _, x := range xs {
+		s.vals = append(s.vals, x)
+	}
+}
+
+//vsnoop:hotpath
+func report(n int) {
+	fmt.Println(n) // want "fmt.Println allocates"
+}
+
+//vsnoop:hotpath
+func capture(n int) func() int {
+	return func() int { return n } // want "closure literal captures variables"
+}
+
+//vsnoop:hotpath
+func box(n int) interface{} {
+	return n // want "conversion of int to interface allocates"
+}
+
+//vsnoop:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+//vsnoop:hotpath
+func tally(xs []int) map[int]int {
+	m := make(map[int]int) // want "allocates; use a dense slice or bitset"
+	for _, x := range xs {
+		m[x]++
+	}
+	return m
+}
+
+//vsnoop:hotpath
+func merge(a, b []int) []int {
+	out := append(a, b...) // want "append outside the self-append idiom"
+	return out
+}
+
+// deliberate documents its one boxing — a waived finding.
+//vsnoop:hotpath
+func deliberate(n int) interface{} {
+	//lint:alloc boxed once per batch by design; consumers share the value
+	return n
+}
+
+// cold is unannotated: the same constructs are never flagged.
+func cold(n int) interface{} {
+	fmt.Println(n)
+	return n
+}
+
+var _ = (*sink).addAll
+var _ = report
+var _ = capture
+var _ = box
+var _ = concat
+var _ = tally
+var _ = merge
+var _ = deliberate
+var _ = cold

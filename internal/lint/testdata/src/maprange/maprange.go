@@ -1,0 +1,33 @@
+// Package maprange is a lint fixture: map iterations in a critical package.
+package maprange
+
+// sum iterates a map bare — a true positive.
+func sum(m map[int]int) int {
+	total := 0
+	for _, v := range m { // want "iteration over map m has nondeterministic order"
+		total += v
+	}
+	return total
+}
+
+// keys harvests then sorts (in the caller) — a waived finding.
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { //lint:ordered key harvest only; callers sort before use
+		out = append(out, k)
+	}
+	return out
+}
+
+// overSlice ranges a slice — never flagged.
+func overSlice(s []int) int {
+	t := 0
+	for _, v := range s {
+		t += v
+	}
+	return t
+}
+
+var _ = sum
+var _ = keys
+var _ = overSlice

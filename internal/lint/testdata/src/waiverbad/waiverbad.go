@@ -1,0 +1,23 @@
+// Package waiverbad is a lint fixture: malformed waivers must not suppress
+// anything and are findings themselves.
+package waiverbad
+
+func keys(m map[int]int) []int {
+	out := make([]int, 0, len(m))
+	//lint:ordered
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func size(m map[int]int) int {
+	n := 0
+	for range m { //lint:sorted the key is misspelled, so this suppresses nothing
+		n++
+	}
+	return n
+}
+
+var _ = keys
+var _ = size

@@ -1,0 +1,46 @@
+// Package wallclock is a lint fixture: ambient inputs in a critical package.
+package wallclock
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().Unix() // want "time.Now reads the wall clock"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+func mode() string {
+	return os.Getenv("VSNOOP_MODE") // want "os.Getenv reads the environment"
+}
+
+func roll() int {
+	return rand.Intn(6) // want "math/rand.Intn uses the global rand source"
+}
+
+// seeded draws from an explicitly seeded stream — never flagged.
+func seeded(r *rand.Rand) int {
+	return r.Intn(6)
+}
+
+// mkStream constructs a seeded source — the allowed constructors.
+func mkStream(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func banner() int64 {
+	return time.Now().Unix() //lint:wallclock startup banner only, printed before the engine runs
+}
+
+var _ = stamp
+var _ = elapsed
+var _ = mode
+var _ = roll
+var _ = seeded
+var _ = mkStream
+var _ = banner

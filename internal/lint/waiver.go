@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+// waiverPrefix introduces a suppression comment: //lint:<key> <reason>.
+// The reason is mandatory — a bare //lint:<key> is itself a finding.
+const waiverPrefix = "//lint:"
+
+// waiverSet indexes every well-formed waiver by (key, file, line) and
+// collects grammar problems (unknown keys, missing reasons) as findings.
+type waiverSet struct {
+	byKey    map[string]map[string]map[int]bool // key -> file -> line
+	problems []waiverProblem
+}
+
+type waiverProblem struct {
+	pkg string
+	pos token.Position
+	msg string
+}
+
+// covers reports whether a finding of the given waiver key at position p is
+// suppressed: a well-formed waiver for that key on the same line (trailing
+// comment) or the line directly above (preceding comment line).
+func (ws *waiverSet) covers(key string, p token.Position) bool {
+	lines := ws.byKey[key][p.Filename]
+	return lines[p.Line] || lines[p.Line-1]
+}
+
+// collectWaivers scans every comment in the module for the waiver grammar.
+func collectWaivers(mod *Module) *waiverSet {
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		known[a.WaiverKey] = true
+	}
+	ws := &waiverSet{byKey: make(map[string]map[string]map[int]bool)}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, waiverPrefix)
+					if !ok {
+						continue
+					}
+					key, reason, _ := strings.Cut(rest, " ")
+					reason = strings.TrimSpace(reason)
+					p := mod.Fset.Position(c.Pos())
+					switch {
+					case !known[key]:
+						ws.problems = append(ws.problems, waiverProblem{
+							pkg: pkg.Path, pos: p,
+							msg: "unknown waiver key " + strings.Trim(key, ":") + " (valid: ordered, wallclock, alloc, shardsafe)",
+						})
+					case reason == "":
+						ws.problems = append(ws.problems, waiverProblem{
+							pkg: pkg.Path, pos: p,
+							msg: "waiver //lint:" + key + " lacks a reason — every waiver must say why the rule does not apply",
+						})
+					default:
+						perFile := ws.byKey[key]
+						if perFile == nil {
+							perFile = make(map[string]map[int]bool)
+							ws.byKey[key] = perFile
+						}
+						lines := perFile[p.Filename]
+						if lines == nil {
+							lines = make(map[int]bool)
+							perFile[p.Filename] = lines
+						}
+						lines[p.Line] = true
+					}
+				}
+			}
+		}
+	}
+	return ws
+}

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockAnalyzer forbids ambient inputs in sim-critical packages: wall
+// clock reads, environment lookups, and the global math/rand source. A
+// simulation run must be a pure function of its configuration — simulated
+// time comes from sim.Engine.Now and all randomness from seeded sim.Rand
+// streams (or an explicitly constructed, seeded *rand.Rand plumbed through
+// config). Methods on a *rand.Rand value are allowed; the package-level
+// convenience functions draw from the shared, unseeded global source and
+// are not.
+var wallClockAnalyzer = &Analyzer{
+	Name:      "wallclock",
+	Doc:       "forbids time.Now/Since, os.Getenv, and global math/rand in sim-critical packages",
+	WaiverKey: "wallclock",
+	Run:       runWallClock,
+}
+
+// forbiddenCalls maps package path -> function name -> the complaint. An
+// empty inner map means every package-level function is forbidden except
+// those in allowedRand (seeded-source constructors).
+var forbiddenWallClock = map[string]map[string]string{
+	"time": {
+		"Now":   "reads the wall clock; use the engine's simulated clock (sim.Engine.Now)",
+		"Since": "reads the wall clock; use the engine's simulated clock (sim.Engine.Now)",
+		"Until": "reads the wall clock; use the engine's simulated clock (sim.Engine.Now)",
+	},
+	"os": {
+		"Getenv":    "reads the environment; plumb configuration through Config instead",
+		"LookupEnv": "reads the environment; plumb configuration through Config instead",
+		"Environ":   "reads the environment; plumb configuration through Config instead",
+	},
+}
+
+// globalRandPkgs are the math/rand flavors whose package-level functions
+// draw from a shared global source (unseeded, or per-process seeded —
+// either way not reproducible per run-configuration).
+var globalRandPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// allowedRand are math/rand package-level names that construct explicitly
+// seeded sources rather than drawing from the global one.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true, "NewPCG": true, "NewChaCha8": true,
+	// Type names, usable in declarations like *rand.Rand.
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true, "PCG": true, "ChaCha8": true,
+}
+
+func runWallClock(mod *Module, opts Options, report ReportFn) {
+	for _, pkg := range mod.Pkgs {
+		if !opts.Critical(pkg.Path) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pn, ok := pkg.Info.Uses[id].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				path, name := pn.Imported().Path(), sel.Sel.Name
+				if msg, bad := forbiddenWallClock[path][name]; bad {
+					report(pkg, sel.Pos(), path+"."+name+" "+msg)
+					return true
+				}
+				if globalRandPkgs[path] && !allowedRand[name] {
+					report(pkg, sel.Pos(),
+						path+"."+name+" uses the global rand source; use a seeded *rand.Rand (or sim.Rand) plumbed through config")
+				}
+				return true
+			})
+		}
+	}
+}

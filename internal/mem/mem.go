@@ -236,7 +236,7 @@ func (m *Manager) TypeOf(p HostPage) PageType { return m.hostType[p] }
 // shards, and host-page numbering must not depend on shard interleaving.
 func (m *Manager) PreallocateAll() {
 	vms := make([]VMID, 0, len(m.spaces))
-	for vm := range m.spaces {
+	for vm := range m.spaces { //lint:ordered key harvest only; vms is sorted before any allocation happens
 		vms = append(vms, vm)
 	}
 	sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
@@ -269,7 +269,7 @@ func (m *Manager) SetContent(vm VMID, gp GuestPage, c ContentID) {
 func (m *Manager) MergeIdentical() int {
 	redirected := 0
 	vms := make([]VMID, 0, len(m.spaces))
-	for vm := range m.spaces {
+	for vm := range m.spaces { //lint:ordered key harvest only; vms is sorted before merging, so canonical-page choice is order-free
 		vms = append(vms, vm)
 	}
 	sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
@@ -352,13 +352,15 @@ func (m *Manager) ShareRW(vm VMID, gp GuestPage, existing HostPage, reuse bool) 
 	return hp
 }
 
-// ROSharers returns the VMs currently mapping RO-shared host page p.
+// ROSharers returns the VMs currently mapping RO-shared host page p, in
+// ascending VMID order so callers may iterate deterministically.
 func (m *Manager) ROSharers(p HostPage) []VMID {
 	set := m.roSharers[p]
 	out := make([]VMID, 0, len(set))
-	for vm := range set {
+	for vm := range set { //lint:ordered key harvest only; sorted below before returning
 		out = append(out, vm)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -367,9 +369,9 @@ func (m *Manager) ROSharers(p HostPage) []VMID {
 // (Section VI.B): a VM's friend is the VM it shares the most content with.
 func (m *Manager) SharedMatrix() map[VMID]map[VMID]int {
 	out := make(map[VMID]map[VMID]int)
-	for _, sharers := range m.roSharers {
+	for _, sharers := range m.roSharers { //lint:ordered per-page pair counts are summed; addition commutes, so the matrix is order-free
 		vms := make([]VMID, 0, len(sharers))
-		for vm := range sharers {
+		for vm := range sharers { //lint:ordered pair counting below visits every (a,b) pair regardless of harvest order
 			vms = append(vms, vm)
 		}
 		for _, a := range vms {
@@ -392,7 +394,7 @@ func (m *Manager) SharedMatrix() map[VMID]map[VMID]int {
 func (m *Manager) FriendOf(vm VMID) (friend VMID, ok bool) {
 	row := m.SharedMatrix()[vm]
 	best := -1
-	for other, n := range row {
+	for other, n := range row { //lint:ordered max under the total order (count, lowest VMID) — the winner is unique whatever the visit order
 		if n > best || (n == best && other < friend) {
 			best = n
 			friend = other

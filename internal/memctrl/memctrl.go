@@ -7,6 +7,7 @@ package memctrl
 
 import (
 	"fmt"
+	"sort"
 
 	"vsnoop/internal/mem"
 	"vsnoop/internal/mesh"
@@ -104,10 +105,17 @@ func (m *Ctrl) Peek(a mem.BlockAddr) (tokens int, owner, present bool) {
 	return l.tokens, l.owner, true
 }
 
-// ForEachLine calls fn for every materialized line (iteration order is not
-// deterministic; callers that care must sort).
+// ForEachLine calls fn for every materialized line in ascending block-addr
+// order. It runs off the hot path (invariant checkers, end-of-run dumps), so
+// the sort cost does not matter and callers get determinism for free.
 func (m *Ctrl) ForEachLine(fn func(a mem.BlockAddr, tokens int, owner bool)) {
-	for a, l := range m.lines {
+	addrs := make([]mem.BlockAddr, 0, len(m.lines))
+	for a := range m.lines { //lint:ordered key harvest only; sorted on the next line
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		l := m.lines[a]
 		fn(a, l.tokens, l.owner)
 	}
 }

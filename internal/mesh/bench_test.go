@@ -65,6 +65,37 @@ func TestSendZeroAllocSteadyState(t *testing.T) {
 	}
 }
 
+// TestPartitionedSendZeroAllocSteadyState gates the partitioned-mode send
+// path: the per-domain traffic-slot accounting and the cross-domain
+// zero-load delivery (ScheduleFnAtDom) must allocate nothing at steady
+// state, same as the serial path TestSendZeroAllocSteadyState covers.
+func TestPartitionedSendZeroAllocSteadyState(t *testing.T) {
+	eng, net, ids := benchNet(true)
+	nodeDom := make([]int32, len(ids))
+	for i, id := range ids {
+		if x, _ := net.Coords(id); x >= 2 {
+			nodeDom[i] = 1
+		}
+	}
+	net.Partition(nodeDom, []*sim.Engine{eng, eng})
+	for i := 0; i < 1024; i++ {
+		net.Send(ids[i&15], ids[(i+7)&15], 72, nil)
+	}
+	eng.Run()
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			// (i+7)&15 crosses the column-2 domain boundary for half the
+			// pairs, so both the intra-domain contention walk and the
+			// cross-domain fast path are exercised.
+			net.Send(ids[i&15], ids[(i+7)&15], 72, nil)
+		}
+		eng.Run()
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state partitioned Send allocates %.2f per 64-message batch, want 0", avg)
+	}
+}
+
 func BenchmarkBroadcast(b *testing.B) {
 	eng, net, ids := benchNet(true)
 	dests := ids[1:]

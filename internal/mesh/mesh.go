@@ -148,6 +148,7 @@ func New(eng *sim.Engine, cfg Config) *Network {
 
 // linkID flattens a directed link (source router x,y plus direction) to a
 // dense table index.
+//vsnoop:hotpath
 func (n *Network) linkID(x, y, dir int) int {
 	return (y*n.cfg.Width+x)<<2 | dir
 }
@@ -222,6 +223,7 @@ func (n *Network) Coords(id NodeID) (x, y int) {
 
 // Hops returns the XY-routing hop count between two endpoints (the
 // Manhattan distance between their routers).
+//vsnoop:hotpath
 func (n *Network) Hops(src, dst NodeID) int {
 	a, b := n.nodes[src], n.nodes[dst]
 	return abs(a.x-b.x) + abs(a.y-b.y)
@@ -235,6 +237,7 @@ func abs(v int) int {
 }
 
 // serialization returns the cycles needed to push bytes through one link.
+//vsnoop:hotpath
 func (n *Network) serialization(bytes int) sim.Cycle {
 	s := sim.Cycle((bytes + n.cfg.LinkBytesPerCycle - 1) / n.cfg.LinkBytesPerCycle)
 	if s == 0 {
@@ -246,6 +249,7 @@ func (n *Network) serialization(bytes int) sim.Cycle {
 // Latency returns the zero-load latency of a message (no contention):
 // router pipeline + wire delay per hop, plus one serialization term
 // (wormhole switching: the body streams behind the header).
+//vsnoop:hotpath
 func (n *Network) Latency(src, dst NodeID, bytes int) sim.Cycle {
 	hops := n.Hops(src, dst)
 	if hops == 0 {
@@ -259,6 +263,7 @@ func (n *Network) Latency(src, dst NodeID, bytes int) sim.Cycle {
 // arrives. Traffic statistics are charged immediately. When a FaultHook is
 // installed it may drop, duplicate, delay, or redirect the message; the
 // hook runs once per Send (a duplicated copy is not re-faulted).
+//vsnoop:hotpath
 func (n *Network) Send(src, dst NodeID, bytes int, payload interface{}) {
 	if n.FaultHook != nil {
 		out := n.FaultHook(src, dst, bytes, payload)
@@ -278,6 +283,7 @@ func (n *Network) Send(src, dst NodeID, bytes int, payload interface{}) {
 }
 
 // transmit performs the actual routing, accounting, and delivery.
+//vsnoop:hotpath
 func (n *Network) transmit(src, dst NodeID, bytes int, payload interface{}, extra sim.Cycle) {
 	hops := n.Hops(src, dst)
 	flitBytes := uint64(n.serialization(bytes)) * uint64(n.cfg.LinkBytesPerCycle)
@@ -394,6 +400,7 @@ func (n *Network) DegradeLinks(count, factor int, rng *sim.Rand) int {
 // Multicast sends the same payload to every destination (one unicast per
 // destination, as a broadcast tree is not modeled — this matches charging
 // the baseline TokenB its full broadcast cost too).
+//vsnoop:hotpath
 func (n *Network) Multicast(src NodeID, dsts []NodeID, bytes int, payload interface{}) {
 	for _, d := range dsts {
 		n.Send(src, d, bytes, payload)

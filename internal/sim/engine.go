@@ -85,17 +85,26 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending returns the number of events waiting in the queue.
 func (e *Engine) Pending() int { return len(e.events) }
 
+// schedulePastPanic is the cold failure path shared by the Schedule
+// variants. It exists so the fmt call (which allocates) stays out of the
+// annotated hot functions.
+func schedulePastPanic(at, now Cycle) {
+	panic(fmt.Sprintf("sim: schedule at %d before now %d", at, now))
+}
+
 // Schedule runs fn after delay cycles (delay 0 means later this cycle,
 // after all currently queued same-cycle events).
+//vsnoop:hotpath
 func (e *Engine) Schedule(delay Cycle, fn func()) {
 	e.ScheduleAt(e.now+delay, fn)
 }
 
 // ScheduleAt runs fn at the given absolute cycle, which must not be in the
 // past.
+//vsnoop:hotpath
 func (e *Engine) ScheduleAt(at Cycle, fn func()) {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+		schedulePastPanic(at, e.now)
 	}
 	e.insert(event{at: at, key: e.nextKey(), dom: e.curDom, fn: fn})
 }
@@ -105,15 +114,17 @@ func (e *Engine) ScheduleAt(at Cycle, fn func()) {
 // and the per-event state travels in (arg, u), so nothing escapes to the
 // heap (arg should be nil, an already-boxed interface value, or a
 // pointer; u packs any scalar state).
+//vsnoop:hotpath
 func (e *Engine) ScheduleFn(delay Cycle, fn HandlerFn, arg interface{}, u uint64) {
 	e.ScheduleFnAt(e.now+delay, fn, arg, u)
 }
 
 // ScheduleFnAt is ScheduleFn with an absolute cycle, which must not be in
 // the past.
+//vsnoop:hotpath
 func (e *Engine) ScheduleFnAt(at Cycle, fn HandlerFn, arg interface{}, u uint64) {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+		schedulePastPanic(at, e.now)
 	}
 	e.insert(event{at: at, key: e.nextKey(), dom: e.curDom, fn2: fn, arg: arg, u: u})
 }
@@ -123,9 +134,10 @@ func (e *Engine) ScheduleFnAt(at Cycle, fn HandlerFn, arg interface{}, u uint64)
 // domains are sharded) while its tie-break key still comes from the current
 // scheduling domain's counter, keeping the order reproducible for any
 // domain-to-engine assignment. The mesh uses it for cross-domain delivery.
+//vsnoop:hotpath
 func (e *Engine) ScheduleFnAtDom(at Cycle, dom int32, fn HandlerFn, arg interface{}, u uint64) {
 	if at < e.now {
-		panic(fmt.Sprintf("sim: schedule at %d before now %d", at, e.now))
+		schedulePastPanic(at, e.now)
 	}
 	e.insert(event{at: at, key: e.nextKey(), dom: dom, fn2: fn, arg: arg, u: u})
 }
@@ -133,6 +145,7 @@ func (e *Engine) ScheduleFnAtDom(at Cycle, dom int32, fn HandlerFn, arg interfac
 // nextKey draws the next tie-break key: the global schedule counter in
 // single-domain mode (key == legacy seq, bit-identical ordering), or the
 // current domain's counter prefixed with the domain index in domain mode.
+//vsnoop:hotpath
 func (e *Engine) nextKey() uint64 {
 	if e.domSeq == nil {
 		e.seq++
@@ -145,6 +158,7 @@ func (e *Engine) nextKey() uint64 {
 
 // insert routes an event to the local heap, or to the deposit sink when its
 // executing domain lives on another engine.
+//vsnoop:hotpath
 func (e *Engine) insert(ev event) {
 	if e.local != nil && !e.local[ev.dom] {
 		e.deposit(ev)
@@ -169,7 +183,9 @@ func (e *Engine) SetDomains(nd int, local []bool, deposit func(ev event)) {
 // any event handler (machine setup); during execution Step maintains it.
 func (e *Engine) SetCurDomain(d int32) { e.curDom = d }
 
-// push inserts ev into the 4-ary heap (sift-up).
+// push inserts ev into the 4-ary heap (sift-up). The self-append reuses the
+// backing array, so steady-state pushes allocate nothing.
+//vsnoop:hotpath
 func (e *Engine) push(ev event) {
 	e.events = append(e.events, ev)
 	h := e.events
@@ -185,6 +201,7 @@ func (e *Engine) push(ev event) {
 }
 
 // pop removes and returns the minimum event (sift-down with a hole).
+//vsnoop:hotpath
 func (e *Engine) pop() event {
 	h := e.events
 	root := h[0]
@@ -223,6 +240,7 @@ func (e *Engine) pop() event {
 
 // Step executes the next event, advancing the clock to its cycle. It
 // returns false when no events remain.
+//vsnoop:hotpath
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false

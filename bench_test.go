@@ -207,23 +207,27 @@ func BenchmarkTable6(b *testing.B) {
 // fft run per iteration, useful for performance regressions of the
 // simulation engine itself.
 func BenchmarkSingleRun(b *testing.B) {
-	benchmarkSingleRun(b, 0)
+	benchmarkSingleRun(b, 0, false)
 }
 
 // BenchmarkSingleRunShards1 and BenchmarkSingleRunShards4 bracket the
 // shard-parallel engine's scaling curve on the same run: K=1 is the serial
 // fast path (gated in CI to stay within 5% of BenchmarkSingleRun), K=4 is
-// one goroutine per snoop-domain quadrant. All three produce bit-identical
-// statistics.
-func BenchmarkSingleRunShards1(b *testing.B) { benchmarkSingleRun(b, 1) }
-func BenchmarkSingleRunShards4(b *testing.B) { benchmarkSingleRun(b, 4) }
+// one goroutine per snoop-domain quadrant under the free-running adaptive
+// protocol. BenchmarkSingleRunShards4NoElision forces the fully-barriered
+// windowed protocol on the same run, isolating what adaptive windows and
+// barrier elision buy. All four produce bit-identical statistics.
+func BenchmarkSingleRunShards1(b *testing.B)          { benchmarkSingleRun(b, 1, false) }
+func BenchmarkSingleRunShards4(b *testing.B)          { benchmarkSingleRun(b, 4, false) }
+func BenchmarkSingleRunShards4NoElision(b *testing.B) { benchmarkSingleRun(b, 4, true) }
 
-func benchmarkSingleRun(b *testing.B, shards int) {
+func benchmarkSingleRun(b *testing.B, shards int, noElision bool) {
 	for i := 0; i < b.N; i++ {
 		cfg := DefaultConfig()
 		cfg.RefsPerVCPU = 2000
 		cfg.WarmupRefs = 0
 		cfg.Shards = shards
+		cfg.NoElision = noElision
 		if _, err := Run(cfg); err != nil {
 			b.Fatal(err)
 		}

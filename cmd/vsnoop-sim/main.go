@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -21,6 +22,7 @@ import (
 )
 
 func main() {
+	maxProcs := runtime.GOMAXPROCS(0)
 	var profiles prof.Flags
 	profiles.AddFlags(nil)
 	workloadFlag := flag.String("workload", "fft", "application profile (comma-separated for per-VM mix); see -list")
@@ -38,7 +40,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "run seed")
 	list := flag.Bool("list", false, "list workloads and exit")
 	check := flag.Bool("check", false, "enable online coherence invariant checking")
-	shards := flag.Int("shards", 0, "parallel event-queue shards (0 or 1 = serial; results are bit-identical)")
+	shardsFlag := flag.String("shards", "0", `parallel event-queue shards: a count, or "auto" for min(4, GOMAXPROCS) on shardable configs (0 or 1 = serial; results are bit-identical)`)
+	noElision := flag.Bool("no-elision", false, "force fully-barriered window synchronization (disable adaptive free-running and barrier elision)")
 	maxSteps := flag.Uint64("max-steps", 0, "abort after this many simulation events (0 = unbounded)")
 	faultSeed := flag.Uint64("fault-seed", 0, "fault plan seed (mixed with -seed)")
 	faultDrop := flag.Float64("fault-drop", 0, "percent of transient requests destroyed (responses bounced home)")
@@ -105,7 +108,7 @@ func main() {
 	cfg.Threshold = *threshold
 	cfg.Seed = *seed
 	cfg.Checks = *check
-	cfg.Shards = *shards
+	cfg.NoElision = *noElision
 	cfg.MaxSteps = *maxSteps
 
 	plan := &vsnoop.FaultPlan{
@@ -141,6 +144,10 @@ func main() {
 	if faultActive {
 		cfg.Fault = plan
 	}
+	// Resolved after the whole config is built ("auto" depends on
+	// shardability); maxProcs was read once at program entry so the
+	// simulation packages stay free of machine-environment reads.
+	cfg.Shards = resolveShards(*shardsFlag, cfg, maxProcs)
 
 	if err := profiles.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -185,7 +192,25 @@ func main() {
 	}
 	fmt.Printf("\n%d events in %s (%.0f events/sec, shards=%d)\n",
 		res.EventsFired, wall.Round(time.Millisecond),
-		float64(res.EventsFired)/wall.Seconds(), *shards)
+		float64(res.EventsFired)/wall.Seconds(), cfg.Shards)
+	if sy := st.Sync; sy.Windows > 0 {
+		fmt.Printf("sync: %d windows, %d barriers elided, mean window %.0f cycles\n",
+			sy.Windows, sy.ElidedBarriers, sy.MeanWindowWidth())
+	}
+}
+
+// resolveShards parses the -shards flag: "auto" resolves against the fully
+// built configuration, anything else must be a non-negative integer.
+func resolveShards(s string, cfg vsnoop.Config, maxProcs int) int {
+	if s == "auto" {
+		return vsnoop.AutoShards(cfg, maxProcs)
+	}
+	k, err := strconv.Atoi(s)
+	if err != nil || k < 0 {
+		fmt.Fprintf(os.Stderr, "-shards: want a non-negative integer or \"auto\", got %q\n", s)
+		os.Exit(2)
+	}
+	return k
 }
 
 // parseEvent parses an n-field comma-separated integer flag value.

@@ -17,7 +17,10 @@
 //     not communicate except through the internal/sim mailbox (deposit)
 //     API. The shardsafe analyzer walks the static call graph from handler
 //     roots and flags goroutine launches, channel operations, and writes
-//     to package-level state.
+//     to package-level state. It also confines sync/atomic in the critical
+//     packages to the fields of internal/sim's synchronization structs
+//     (barrier, shardSlot, mailbox, ShardedEngine) — the PR-5 adaptive
+//     protocol's EOT words, mailbox locks, and termination counters.
 //
 // Findings are suppressed only by an explicit waiver comment with a
 // mandatory reason, placed on the offending line or the line above:

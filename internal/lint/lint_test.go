@@ -92,6 +92,10 @@ func TestWallClockFixture(t *testing.T) { checkFixture(t, "wallclock") }
 func TestHotAllocFixture(t *testing.T)  { checkFixture(t, "hotalloc") }
 func TestShardSafeFixture(t *testing.T) { checkFixture(t, "shardsafe") }
 
+// TestShardAtomicFixture covers the atomic-confinement half of shardsafe:
+// the allowlisted internal/sim structs pass, everything else is flagged.
+func TestShardAtomicFixture(t *testing.T) { checkFixture(t, "shardatomic") }
+
 // TestWaiverGrammar checks the negative fixture: a reason-less waiver and a
 // misspelled key are findings themselves AND fail to suppress the map
 // iterations they sit on, so the driver exits nonzero.

@@ -31,11 +31,28 @@ import (
 // (interface method calls, func-typed fields) is not resolved; that is a
 // documented soundness limit, mitigated by rooting every handler-shaped
 // function value at its creation site.
+//
+// A second, package-wide rule confines sync/atomic: the only permitted
+// cross-shard atomics in sim-critical packages are the fields of the
+// internal/sim synchronization structs (barrier, shardSlot, mailbox,
+// ShardedEngine) — the adaptive protocol's EOT words, mailbox locks, and
+// termination counters, whose memory-order obligations are argued in
+// internal/sim/adaptive.go. Any other atomic declaration, or any legacy
+// atomic.AddX/LoadX-style call, in a critical package is a finding: ad-hoc
+// atomics are how nondeterminism sneaks past the deposit discipline.
 var shardSafeAnalyzer = &Analyzer{
 	Name:      "shardsafe",
-	Doc:       "flags handler-reachable code that bypasses the sim mailbox (goroutines, channels, global writes)",
+	Doc:       "flags handler-reachable code that bypasses the sim mailbox, and atomics outside internal/sim's synchronization structs",
 	WaiverKey: "shardsafe",
 	Run:       runShardSafe,
+}
+
+// atomicStructAllowlist names the internal/sim structs whose atomic fields
+// implement the sharded synchronization protocol. Only fields of these
+// structs, in a package whose import path ends in internal/sim, may have
+// sync/atomic types without a waiver.
+var atomicStructAllowlist = map[string]bool{
+	"barrier": true, "shardSlot": true, "mailbox": true, "ShardedEngine": true,
 }
 
 // schedulerFuncs are method/function names whose function-typed arguments
@@ -55,6 +72,7 @@ type shardWork struct {
 }
 
 func runShardSafe(mod *Module, opts Options, report ReportFn) {
+	runAtomicConfinement(mod, opts, report)
 	simPath := mod.Path + "/internal/sim"
 
 	// Registry: every module function with a body, by its types object.
@@ -236,6 +254,87 @@ func isHandlerShape(t types.Type) bool {
 func isEmptyInterface(t types.Type) bool {
 	i, ok := t.Underlying().(*types.Interface)
 	return ok && i.NumMethods() == 0
+}
+
+// runAtomicConfinement is the declaration-site half of the shard-isolation
+// contract: it flags every sync/atomic-typed declaration (struct fields,
+// package-level and local variables) and every legacy atomic.* function
+// call in the sim-critical packages, except the fields of the allowlisted
+// internal/sim synchronization structs. Flagging declarations rather than
+// each Load/Store keeps waivers at the point where the judgment call is
+// made — the decision to hold shared mutable state at all.
+func runAtomicConfinement(mod *Module, opts Options, report ReportFn) {
+	for _, pkg := range mod.Pkgs {
+		if !opts.Critical(pkg.Path) {
+			continue
+		}
+		inSim := strings.HasSuffix(pkg.Path, "internal/sim")
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.TypeSpec:
+					st, ok := x.Type.(*ast.StructType)
+					if !ok {
+						return true
+					}
+					allowed := inSim && atomicStructAllowlist[x.Name.Name]
+					for _, fld := range st.Fields.List {
+						if allowed || !isAtomicType(pkg.Info.TypeOf(fld.Type)) {
+							continue
+						}
+						report(pkg, fld.Pos(), "atomic field in struct "+x.Name.Name+
+							" outside the internal/sim synchronization structs (barrier, shardSlot, mailbox, ShardedEngine); cross-shard state must go through the sim deposit API")
+					}
+				case *ast.ValueSpec:
+					for _, name := range x.Names {
+						obj, ok := pkg.Info.Defs[name].(*types.Var)
+						if !ok || !isAtomicType(obj.Type()) {
+							continue
+						}
+						report(pkg, name.Pos(), "atomic variable "+name.Name+
+							" in a sim-critical package; cross-shard atomics are confined to internal/sim's synchronization structs")
+					}
+				case *ast.CallExpr:
+					sel, ok := unparen(x.Fun).(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					id, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "sync/atomic" {
+						// Type conversions and constructors are covered by the
+						// declaration checks; only function-style operations on
+						// ad-hoc words (atomic.AddUint64 etc.) reach here.
+						if _, isSig := pkg.Info.TypeOf(x.Fun).(*types.Signature); isSig {
+							report(pkg, x.Pos(), "atomic."+sel.Sel.Name+
+								" call in a sim-critical package; cross-shard atomics are confined to internal/sim's synchronization structs")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicType reports whether t (or its pointee) is a named type from
+// sync/atomic.
+func isAtomicType(t types.Type) bool {
+	for {
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
 }
 
 // packageLevelTarget resolves an assignment target to the package-level

@@ -4,6 +4,7 @@ package wallclock
 import (
 	"math/rand"
 	"os"
+	"runtime"
 	"time"
 )
 
@@ -21,6 +22,19 @@ func mode() string {
 
 func roll() int {
 	return rand.Intn(6) // want "math/rand.Intn uses the global rand source"
+}
+
+func autoShards() int {
+	return runtime.GOMAXPROCS(0) // want "runtime.GOMAXPROCS reads host parallelism"
+}
+
+func cpus() int {
+	return runtime.NumCPU() // want "runtime.NumCPU reads host parallelism"
+}
+
+// yield is a runtime call that is NOT an ambient input — never flagged.
+func yield() {
+	runtime.Gosched()
 }
 
 // seeded draws from an explicitly seeded stream — never flagged.
@@ -41,6 +55,9 @@ var _ = stamp
 var _ = elapsed
 var _ = mode
 var _ = roll
+var _ = autoShards
+var _ = cpus
+var _ = yield
 var _ = seeded
 var _ = mkStream
 var _ = banner

@@ -12,10 +12,13 @@ import (
 // streams (or an explicitly constructed, seeded *rand.Rand plumbed through
 // config). Methods on a *rand.Rand value are allowed; the package-level
 // convenience functions draw from the shared, unseeded global source and
-// are not.
+// are not. Host parallelism (runtime.GOMAXPROCS / runtime.NumCPU) is
+// ambient too: a shard count derived inside sim code would make results
+// depend on the machine, so the CLIs read it once at entry and plumb the
+// value down (vsnoop.AutoShards).
 var wallClockAnalyzer = &Analyzer{
 	Name:      "wallclock",
-	Doc:       "forbids time.Now/Since, os.Getenv, and global math/rand in sim-critical packages",
+	Doc:       "forbids time.Now/Since, os.Getenv, runtime.GOMAXPROCS, and global math/rand in sim-critical packages",
 	WaiverKey: "wallclock",
 	Run:       runWallClock,
 }
@@ -33,6 +36,10 @@ var forbiddenWallClock = map[string]map[string]string{
 		"Getenv":    "reads the environment; plumb configuration through Config instead",
 		"LookupEnv": "reads the environment; plumb configuration through Config instead",
 		"Environ":   "reads the environment; plumb configuration through Config instead",
+	},
+	"runtime": {
+		"GOMAXPROCS": "reads host parallelism inside sim code; read it once at CLI entry and plumb the value through config (shards auto-selection)",
+		"NumCPU":     "reads host parallelism inside sim code; read it once at CLI entry and plumb the value through config (shards auto-selection)",
 	},
 }
 

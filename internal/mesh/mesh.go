@@ -116,15 +116,17 @@ type Network struct {
 	// to snoop domains, engs holds the engine executing each domain, and
 	// traf is the per-domain traffic accounting (padded to a cache line so
 	// concurrent senders do not share one).
-	nodeDom []int32
-	engs    []*sim.Engine
-	traf    []trafficSlot
+	nodeDom  []int32
+	engs     []*sim.Engine
+	traf     []trafficSlot
+	crossHor []sim.Cycle // per-domain minimum cross-domain latency
 }
 
 // trafficSlot is one domain's traffic counters, padded to a cache line.
 type trafficSlot struct {
 	byteHops, bytes, messages uint64
-	_                         [5]uint64
+	crossMsgs                 uint64 // messages leaving the domain
+	_                         [4]uint64
 }
 
 // New creates a mesh network driven by eng.
@@ -170,7 +172,36 @@ func (n *Network) Partition(nodeDom []int32, engs []*sim.Engine) {
 	n.nodeDom = nodeDom
 	n.engs = engs
 	n.traf = make([]trafficSlot, len(engs))
+	// Precompute each domain's cross-domain horizon: the minimum zero-load
+	// latency of any message it can send to another domain (one-flit
+	// serialization is the floor — serialization() never returns less than
+	// one cycle, and fault delays only add). The sharded engine uses these
+	// as per-shard output lookaheads in adaptive mode.
+	n.crossHor = make([]sim.Cycle, len(engs))
+	for src := range n.nodes {
+		sd := nodeDom[src]
+		for dst := range n.nodes {
+			if nodeDom[dst] == sd {
+				continue
+			}
+			l := n.Latency(NodeID(src), NodeID(dst), 1)
+			if h := n.crossHor[sd]; h == 0 || l < h {
+				n.crossHor[sd] = l
+			}
+		}
+	}
 }
+
+// CrossHorizons returns, per domain, the minimum zero-load latency of any
+// cross-domain message the domain can originate — a lower bound on the
+// arrival distance of every cross-shard deposit (partitioned mode; nil
+// otherwise). A zero entry means the domain has no cross-domain
+// destination.
+func (n *Network) CrossHorizons() []sim.Cycle { return n.crossHor }
+
+// DomainCrossSends returns the number of messages domain d sent to other
+// domains (partitioned mode).
+func (n *Network) DomainCrossSends(d int) uint64 { return n.traf[d].crossMsgs }
 
 // MinCrossLatency returns the minimum latency of any cross-domain message
 // (one hop, one flit) — the conservative lookahead for sharded execution.
@@ -299,6 +330,9 @@ func (n *Network) transmit(src, dst NodeID, bytes int, payload interface{}, extr
 		t.byteHops += flitBytes * uint64(maxInt(hops, 1))
 		eng = n.engs[sd]
 		crossDom = sd != dd
+		if crossDom {
+			t.crossMsgs++
+		}
 	} else {
 		n.Messages++
 		n.Bytes += flitBytes

@@ -41,12 +41,25 @@ func (b *barrier) wait(k int32, leader func()) {
 
 // ShardedEngine runs a domain-partitioned simulation on K event queues —
 // one Engine per shard, each on its own goroutine — under conservative
-// window synchronization: all shards execute events inside the global
-// window [w, w+lookahead), meet at a barrier, exchange cross-shard events
-// through per-(src,dst) mailboxes, and the barrier leader advances the
-// window to the global minimum pending timestamp. Because every event
-// carries a (scheduling domain, per-domain order) key, results are
-// bit-identical for any shard count, including K=1.
+// synchronization. Because every event carries a (scheduling domain,
+// per-domain order) key, results are bit-identical for any shard count and
+// either synchronization mode, including K=1.
+//
+// Two modes share the engine:
+//
+//   - Windowed (used whenever something observes window boundaries: an
+//     OnWindow hook or a step bound, or when DisableElision is set): all
+//     shards execute events inside the global window [w, w+lookahead), meet
+//     at barrier A, exchange cross-shard events through the mailboxes, and
+//     the barrier-B leader advances the window to the global minimum pending
+//     timestamp. When a window produced no cross-shard deposits the barrier-A
+//     leader folds immediately and every shard skips the drain and barrier B
+//     — one barrier per quiet window instead of two.
+//
+//   - Adaptive free-running (the default for K >= 2 with nothing observing
+//     boundaries): no barriers at all; each shard advances under the
+//     null-message horizon protocol in adaptive.go, with windows stretching
+//     to the actual distance of pending cross-domain work.
 //
 // The lookahead must be a lower bound on the latency of any cross-shard
 // event (for the mesh: the minimum cross-domain link latency), so events
@@ -57,21 +70,55 @@ type ShardedEngine struct {
 	k         int
 	lookahead Cycle
 
-	// boxes[src][dst] holds events deposited by shard src for shard dst
-	// during the current window. Deposits happen before barrier A and
-	// drains after it, so no lock is needed: the barrier orders them.
-	boxes [][][]event
+	// srcLook[s] is the adaptive-mode output lookahead of shard s: a lower
+	// bound on the latency of any cross-shard event originating in one of
+	// s's domains. Defaults to the global lookahead; SetDomainLookahead
+	// tightens it from per-domain mesh horizons.
+	srcLook []Cycle
 
-	// errs[s] is shard s's window error, published before barrier B.
+	// sh[s] is shard s's padded hot synchronization state (adaptive.go).
+	sh []shardSlot
+
+	// boxes[src*k+dst] holds events deposited by shard src for shard dst.
+	// In windowed mode deposits happen before barrier A and drains after
+	// it, so the spinlock is uncontended; in adaptive mode the lock and the
+	// EOT protocol order them.
+	boxes []mailbox
+
+	// deposited/drained/busy are the global termination counters of the
+	// adaptive mode (see the protocol comment in adaptive.go): deposited
+	// is incremented before each mailbox put, drained after a consumer
+	// has pushed a drain's events, and busy tracks how many shards may
+	// still execute or deposit. An idle shard exits only after a double
+	// collect sees busy == 0 bracketed by matching deposited/drained.
+	deposited atomic.Uint64
+	drained   atomic.Uint64
+	busy      atomic.Int64
+
+	// stop aborts the adaptive free-run: set by the first shard to fail,
+	// polled by every shard each round.
+	stop atomic.Uint32
+
+	// errs[s] is shard s's window error, published before barrier A (the
+	// elision leader may fold there).
 	errs []error
 
-	// Window state, written only by the barrier-B leader.
+	// Window state, written only by the barrier leader while all other
+	// shards spin (windowed mode), or by the fold after the adaptive run.
 	w, wend Cycle
 	done    bool
+	skipB   bool // leader decision: this window's drain + barrier B elided
 	err     error
 	fired   uint64
+	tele    SyncStats
 
 	barA, barB barrier
+
+	// DisableElision forces the fully-barriered windowed protocol even
+	// when nothing observes window boundaries: no adaptive free-running,
+	// no quiet-window barrier elision. Results are bit-identical either
+	// way; the flag exists so tests and benchmarks can pin the mode.
+	DisableElision bool
 
 	// MaxSteps, when nonzero, bounds the total events executed across all
 	// shards; the run fails with a StepLimitError at the first window
@@ -101,11 +148,14 @@ func NewSharded(domShard []int, lookahead Cycle) *ShardedEngine {
 		domShard:  domShard,
 		k:         k,
 		lookahead: lookahead,
+		srcLook:   make([]Cycle, k),
+		sh:        make([]shardSlot, k),
 		engs:      make([]*Engine, k),
-		boxes:     make([][][]event, k),
+		boxes:     make([]mailbox, k*k),
 		errs:      make([]error, k),
 	}
 	for s := 0; s < k; s++ {
+		se.srcLook[s] = lookahead
 		s := s
 		local := make([]bool, nd)
 		for d, sh := range domShard {
@@ -114,10 +164,13 @@ func NewSharded(domShard []int, lookahead Cycle) *ShardedEngine {
 		eng := NewEngine()
 		eng.SetDomains(nd, local, func(ev event) {
 			dst := se.domShard[ev.dom]
-			se.boxes[s][dst] = append(se.boxes[s][dst], ev)
+			se.sh[s].deposits++
+			// Count before the put: the adaptive termination check must
+			// never read a drained total that covers an uncounted deposit.
+			se.deposited.Add(1)
+			se.boxes[s*k+dst].put(ev)
 		})
 		se.engs[s] = eng
-		se.boxes[s] = make([][]event, k)
 	}
 	return se
 }
@@ -135,6 +188,9 @@ func (se *ShardedEngine) Fired() uint64 { return se.fired }
 // Now returns the final window cycle (valid after Run returns).
 func (se *ShardedEngine) Now() Cycle { return se.w }
 
+// Telemetry returns the synchronization counters of the last Run.
+func (se *ShardedEngine) Telemetry() SyncStats { return se.tele }
+
 // SetProgressLimit arms every shard's no-forward-progress watchdog.
 func (se *ShardedEngine) SetProgressLimit(limit uint64) {
 	for _, e := range se.engs {
@@ -142,16 +198,50 @@ func (se *ShardedEngine) SetProgressLimit(limit uint64) {
 	}
 }
 
+// SetDomainLookahead tightens the adaptive-mode output lookahead from
+// per-domain horizons: horizon[d] must lower-bound the latency of any
+// cross-domain event originating in domain d. Shard s's lookahead becomes
+// the minimum over its domains; entries of zero (or a shard with no
+// domains) fall back to the global lookahead. The windowed protocol keeps
+// the global lookahead so its window-boundary sequence — and with it every
+// OnWindow observation — stays independent of the partition geometry.
+func (se *ShardedEngine) SetDomainLookahead(horizon []Cycle) {
+	for s := 0; s < se.k; s++ {
+		la := infCycle
+		for d, sh := range se.domShard {
+			if sh == s && d < len(horizon) && horizon[d] < la {
+				la = horizon[d]
+			}
+		}
+		if la == infCycle || la == 0 {
+			la = se.lookahead
+		}
+		se.srcLook[s] = la
+	}
+}
+
 // Run executes all queued work to quiescence (or error). With K=1 it runs
-// the window loop inline on the caller's goroutine — the degenerate serial
-// case, whose window boundaries (and therefore results and OnWindow
-// callbacks) are identical to any K>1 run.
+// inline on the caller's goroutine — the degenerate serial case, whose
+// results (and, in windowed mode, OnWindow callbacks) are identical to any
+// K>1 run in either synchronization mode.
 func (se *ShardedEngine) Run() error {
 	se.w, se.wend = 0, 0 // round 0 executes nothing and seeds the window
-	se.done, se.err = false, nil
-	if se.k == 1 {
+	se.done, se.err, se.skipB = false, nil, false
+	se.tele = SyncStats{}
+	se.stop.Store(0)
+	se.deposited.Store(0)
+	se.drained.Store(0)
+	se.busy.Store(int64(se.k))
+	for s := range se.sh {
+		se.sh[s] = shardSlot{}
+		se.errs[s] = nil
+	}
+	switch {
+	case se.k == 1:
 		se.runSerial()
-	} else {
+	case se.OnWindow == nil && se.MaxSteps == 0 && !se.DisableElision:
+		se.runAdaptiveAll()
+	default:
 		runner.Map(se.k, se.k, func(s int) struct{} {
 			prof.Do(s, "shard-loop", func() { se.runShard(s) })
 			return struct{}{}
@@ -176,6 +266,9 @@ func (se *ShardedEngine) runSerial() {
 	if se.OnWindow == nil && se.MaxSteps == 0 {
 		se.err = eng.RunWindow(infCycle)
 		se.w = eng.Now()
+		if eng.Fired() > 0 {
+			se.tele = SyncStats{Windows: 1, WindowWidthSum: uint64(se.w)}
+		}
 		return
 	}
 	for {
@@ -187,32 +280,88 @@ func (se *ShardedEngine) runSerial() {
 	}
 }
 
+// runAdaptiveAll drives the free-running adaptive mode (adaptive.go) and
+// folds its per-shard outcome deterministically afterwards.
+func (se *ShardedEngine) runAdaptiveAll() {
+	runner.Map(se.k, se.k, func(s int) struct{} {
+		prof.Do(s, "shard-adaptive", func() { se.runAdaptive(s) })
+		return struct{}{}
+	})
+	for s := 0; s < se.k; s++ {
+		if se.errs[s] != nil {
+			se.err = se.errs[s]
+			break
+		}
+	}
+	w := Cycle(0)
+	for s := range se.engs {
+		if now := se.engs[s].Now(); now > w {
+			w = now
+		}
+		st := &se.sh[s]
+		se.tele.Windows += st.windows
+		se.tele.WindowWidthSum += st.widthSum
+		se.tele.ElidedBarriers += st.elided
+	}
+	se.w = w
+	se.tele.CrossDeposits = se.deposited.Load()
+}
+
 func (se *ShardedEngine) runShard(s int) {
 	eng := se.engs[s]
 	k := int32(se.k)
 	for {
-		err := eng.RunWindow(se.wend)
+		// Publish the window error before barrier A: the elision leader
+		// may fold there, and the barrier orders the write.
+		se.errs[s] = eng.RunWindow(se.wend)
 		// Barrier A: after it, every deposit of this window is in its
-		// mailbox and no shard is executing.
-		se.barA.wait(k, nil)
-		for src := 0; src < se.k; src++ {
-			box := se.boxes[src][s]
-			for i := range box {
-				eng.push(box[i])
+		// mailbox and no shard is executing. The leader decides whether
+		// the exchange (drain + barrier B) is needed at all.
+		se.barA.wait(k, se.leadA)
+		if !se.skipB {
+			for src := 0; src < se.k; src++ {
+				se.boxes[src*se.k+s].drain(eng)
 			}
-			se.boxes[src][s] = box[:0]
+			// Barrier B: the leader folds errors, checks bounds, and
+			// advances the window to the global minimum pending timestamp.
+			se.barB.wait(k, se.leadB)
 		}
-		se.errs[s] = err
-		// Barrier B: the leader folds errors, checks bounds, and advances
-		// the window to the global minimum pending timestamp.
-		se.barB.wait(k, se.fold)
 		if se.done {
 			return
 		}
 	}
 }
 
-// fold is the barrier-B leader: every shard is quiesced and drained.
+// leadA runs on the barrier-A leader with every shard quiesced. If no shard
+// deposited anything this window, the mailboxes are all empty and the drain
+// plus barrier B buy nothing: fold here and let everyone skip straight to
+// the next window.
+func (se *ShardedEngine) leadA() {
+	se.tele.BarrierWaits += uint64(se.k)
+	var dep uint64
+	for s := range se.sh {
+		dep += se.sh[s].deposits
+		se.sh[s].deposits = 0
+	}
+	se.tele.CrossDeposits += dep
+	if dep == 0 && !se.DisableElision {
+		se.skipB = true
+		se.tele.ElidedBarriers++
+		se.fold()
+		return
+	}
+	se.skipB = false
+}
+
+// leadB runs on the barrier-B leader of a non-elided window.
+func (se *ShardedEngine) leadB() {
+	se.tele.BarrierWaits += uint64(se.k)
+	se.fold()
+}
+
+// fold advances the window with every shard quiesced and drained. It runs
+// single-threaded on a barrier leader (or inline for K=1); the barrier
+// generation publish orders its plain writes for the other shards.
 func (se *ShardedEngine) fold() {
 	var ferr error
 	for s := 0; s < se.k; s++ {
@@ -249,6 +398,10 @@ func (se *ShardedEngine) fold() {
 			se.done = true
 			return
 		}
+	}
+	if m > se.w {
+		se.tele.Windows++
+		se.tele.WindowWidthSum += uint64(m - se.w)
 	}
 	se.w, se.wend = m, m+se.lookahead
 }

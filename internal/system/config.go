@@ -114,6 +114,12 @@ type Config struct {
 	// execute it. Clamped to the snoop-domain count (4).
 	Shards int
 
+	// NoElision forces the fully-barriered windowed synchronization
+	// protocol on sharded runs: no adaptive free-running, no quiet-window
+	// barrier elision. Results are bit-identical with and without it; the
+	// flag pins the synchronization mode for tests and benchmarks.
+	NoElision bool
+
 	// MaxSteps bounds the run's executed event count; RunChecked returns a
 	// sim.StepLimitError when exhausted (0 = unbounded).
 	MaxSteps uint64
@@ -234,6 +240,11 @@ func (c Config) shardable() bool {
 	}
 	return true
 }
+
+// Shardable reports whether this configuration runs the domain-partitioned
+// parallel engine (see shardable). CLIs use it to resolve `-shards auto`:
+// a non-shardable config gains nothing from extra shard goroutines.
+func (c Config) Shardable() bool { return c.shardable() }
 
 // faultEvents returns the plan's events (nil-safe).
 func (c Config) faultEvents() []fault.Event {

@@ -231,6 +231,12 @@ func New(cfg Config) (*Machine, error) {
 			engs[d] = dom.eng
 		}
 		m.Net.Partition(nodeDom, engs)
+		// Hand the partition's per-domain cross-traffic horizons to the
+		// sharded engine: adaptive-mode output lookaheads tighter than (or
+		// equal to) the global one. NoElision pins the fully-barriered
+		// windowed protocol instead.
+		m.sharded.SetDomainLookahead(m.Net.CrossHorizons())
+		m.sharded.DisableElision = cfg.NoElision
 	} else {
 		d := m.doms[0]
 		for i := 0; i < cfg.Cores; i++ {

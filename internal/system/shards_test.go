@@ -11,14 +11,18 @@ import (
 
 // statsEqual compares every exported field of two statistics records,
 // treating the latency sample and removal-period CDF through their summary
-// accessors (their internals hold equivalent but unexported state).
+// accessors (their internals hold equivalent but unexported state). Sync is
+// skipped: it reports execution mechanics (windows, barriers, elisions) that
+// depend on the shard count and synchronization mode by design, while every
+// simulation statistic must stay bit-identical across them.
 func statsEqual(t *testing.T, label string, a, b *Stats) {
 	t.Helper()
 	va, vb := reflect.ValueOf(*a), reflect.ValueOf(*b)
 	tp := va.Type()
 	for i := 0; i < tp.NumField(); i++ {
 		f := tp.Field(i)
-		if f.PkgPath != "" || f.Name == "RemovalPeriods" || f.Name == "MissLatency" {
+		if f.PkgPath != "" || f.Name == "RemovalPeriods" || f.Name == "MissLatency" ||
+			f.Name == "Sync" {
 			continue
 		}
 		if !reflect.DeepEqual(va.Field(i).Interface(), vb.Field(i).Interface()) {
@@ -60,18 +64,25 @@ func TestShardCountBitIdentical(t *testing.T) {
 		for _, con := range contents {
 			pol, con := pol, con
 			t.Run(fmt.Sprintf("%v_%v", pol, con), func(t *testing.T) {
-				run := func(shards int) *Stats {
+				run := func(shards int, noElision bool) *Stats {
 					cfg := DefaultConfig()
 					cfg.RefsPerVCPU = 1200
 					cfg.WarmupRefs = 200
 					cfg.Filter.Policy = pol
 					cfg.Filter.Content = con
 					cfg.Shards = shards
+					cfg.NoElision = noElision
 					return runCfg(t, cfg)
 				}
-				serial := run(0)
+				serial := run(0, false)
 				for _, k := range []int{1, 2, 4} {
-					statsEqual(t, fmt.Sprintf("shards=%d", k), serial, run(k))
+					// Elision on (K>1: adaptive free-running) and off
+					// (fully-barriered windowed protocol) must both match
+					// the serial run exactly; K=1 has a single mode.
+					statsEqual(t, fmt.Sprintf("shards=%d", k), serial, run(k, false))
+					if k > 1 {
+						statsEqual(t, fmt.Sprintf("shards=%d/no-elision", k), serial, run(k, true))
+					}
 				}
 			})
 		}
@@ -83,7 +94,7 @@ func TestShardCountBitIdentical(t *testing.T) {
 // function of (seed, node) rather than global arrival order, so a moderate
 // fault plan stays bit-identical across shard counts too.
 func TestShardedFaultBitIdentical(t *testing.T) {
-	run := func(shards int) *Stats {
+	run := func(shards int, noElision bool) *Stats {
 		cfg := DefaultConfig()
 		cfg.RefsPerVCPU = 1500
 		cfg.WarmupRefs = 300
@@ -91,6 +102,7 @@ func TestShardedFaultBitIdentical(t *testing.T) {
 		cfg.NoHypervisor = true
 		cfg.Fault = fault.Moderate(7)
 		cfg.Shards = shards
+		cfg.NoElision = noElision
 		m, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -101,15 +113,22 @@ func TestShardedFaultBitIdentical(t *testing.T) {
 		}
 		return st
 	}
-	serial := run(0)
+	serial := run(0, false)
 	if serial.FaultsDropped == 0 && serial.FaultsBounced == 0 && serial.FaultsDelayed == 0 {
 		t.Fatal("fault plan injected nothing")
 	}
 	if serial.InvariantChecks == 0 {
 		t.Fatal("checker never ran")
 	}
+	// Checked runs use the windowed protocol; with elision the barrier-A
+	// leader folds quiet windows, without it every window pays both
+	// barriers. InvariantChecks is compared too (statsEqual), so the
+	// window-boundary sequence itself must be identical in all variants.
 	for _, k := range []int{1, 2, 4} {
-		statsEqual(t, fmt.Sprintf("shards=%d", k), serial, run(k))
+		statsEqual(t, fmt.Sprintf("shards=%d", k), serial, run(k, false))
+		if k > 1 {
+			statsEqual(t, fmt.Sprintf("shards=%d/no-elision", k), serial, run(k, true))
+		}
 	}
 }
 
@@ -147,6 +166,123 @@ func TestNonShardableIgnoresShards(t *testing.T) {
 		t.Fatal("zero config must not be shardable")
 	}
 	statsEqual(t, "shards=4", run(0), run(4))
+}
+
+// TestAdaptiveZeroBarrierWaits is the synchronization-telemetry regression
+// test: when nothing observes window boundaries, K>1 runs free-running
+// adaptive synchronization and must fire ZERO barrier waits for the whole
+// run — execution stretches with no cross-domain traffic never synchronize
+// at a barrier at all. The fully-barriered fallback must, by contrast,
+// report waits and no elisions.
+func TestAdaptiveZeroBarrierWaits(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefsPerVCPU = 800
+	cfg.Shards = 4
+	st := runCfg(t, cfg)
+	if st.Sync.BarrierWaits != 0 {
+		t.Errorf("adaptive run fired %d barrier waits, want 0", st.Sync.BarrierWaits)
+	}
+	if st.Sync.Windows == 0 || st.Sync.ElidedBarriers == 0 {
+		t.Errorf("adaptive telemetry empty: %+v", st.Sync)
+	}
+	if st.Sync.MeanWindowWidth() <= 0 {
+		t.Errorf("mean window width %v, want > 0", st.Sync.MeanWindowWidth())
+	}
+
+	cfg.NoElision = true
+	st = runCfg(t, cfg)
+	if st.Sync.BarrierWaits == 0 {
+		t.Errorf("fully-barriered run reported zero barrier waits: %+v", st.Sync)
+	}
+	if st.Sync.ElidedBarriers != 0 {
+		t.Errorf("NoElision run elided %d barriers, want 0", st.Sync.ElidedBarriers)
+	}
+
+	// Windowed mode with elision enabled (an OnWindow observer forces the
+	// windowed protocol): quiet windows skip barrier B, so the wait count
+	// must come in strictly below the two-barriers-per-window worst case.
+	cfg.NoElision = false
+	cfg.Checks = true
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err = m.RunChecked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Sync.ElidedBarriers == 0 {
+		t.Errorf("windowed run with elision skipped no barriers: %+v", st.Sync)
+	}
+	worst := 2 * 4 * st.Sync.Windows
+	if st.Sync.BarrierWaits >= worst {
+		t.Errorf("windowed elision saved nothing: %d waits for %d windows",
+			st.Sync.BarrierWaits, st.Sync.Windows)
+	}
+}
+
+// TestAdaptiveRaceSoak soaks the free-running adaptive protocol under
+// -race with the heaviest cross-domain traffic a shardable configuration
+// can generate: hypervisor/dom0 activity layered over counter-threshold
+// filtering. Migration storms would be the true worst case, but migration
+// breaks the quadrant-placement invariant and always runs on the legacy
+// serial engine (see TestNonShardableIgnoresShards); the legacy storm soak
+// below keeps that path covered.
+func TestAdaptiveRaceSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test is slow")
+	}
+	cfg := DefaultConfig()
+	cfg.RefsPerVCPU = 4000
+	cfg.WarmupRefs = 500
+	cfg.Filter.Policy = core.PolicyCounterThreshold
+	cfg.NoHypervisor = false
+	cfg.Shards = 4
+	serial := runCfg(t, func() Config { c := cfg; c.Shards = 0; return c }())
+	st := runCfg(t, cfg)
+	statsEqual(t, "adaptive-soak", serial, st)
+	if st.Sync.BarrierWaits != 0 {
+		t.Errorf("adaptive soak fired %d barrier waits, want 0", st.Sync.BarrierWaits)
+	}
+	if st.Transactions == 0 || st.EventsFired == 0 {
+		t.Fatalf("no activity: %d transactions, %d events", st.Transactions, st.EventsFired)
+	}
+}
+
+// TestMigrationStormRaceSoak soaks vCPU relocation storms (the cross-VM
+// worst case) under -race. Storms are excluded from the quadrant invariant,
+// so this exercises the legacy serial engine — kept alongside the adaptive
+// soak so both engines stay under the race detector.
+func TestMigrationStormRaceSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test is slow")
+	}
+	cfg := DefaultConfig()
+	cfg.RefsPerVCPU = 3000
+	cfg.WarmupRefs = 400
+	cfg.Filter.Policy = core.PolicyCounter
+	cfg.MigrationPeriodMs = 2
+	cfg.CyclesPerMs = 12000
+	cfg.Fault = fault.Moderate(13)
+	cfg.Fault.Events = append(cfg.Fault.Events,
+		fault.Event{At: 20000, Kind: fault.EvMigrationStorm, Count: 6},
+		fault.Event{At: 60000, Kind: fault.EvMigrationStorm, Count: 6},
+	)
+	cfg.Shards = 4 // ignored: storms are non-shardable
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := m.RunChecked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.InvariantViolations) != 0 {
+		t.Fatalf("invariants violated: %v", st.InvariantViolations)
+	}
+	if st.StormRelocations == 0 {
+		t.Fatal("storms relocated nothing")
+	}
 }
 
 // TestShardRaceSoak is the data-race soak: a 4-shard run under the moderate

@@ -4,17 +4,35 @@ import (
 	"sync/atomic"
 
 	"vsnoop/internal/mem"
+	"vsnoop/internal/sim"
 	"vsnoop/internal/stats"
 	"vsnoop/internal/workload"
 )
 
 // totalEvents accumulates EventsFired across every run in the process; the
 // CLI throughput footers read it via TotalEventsFired.
-var totalEvents atomic.Uint64
+var totalEvents atomic.Uint64 //lint:shardsafe process-wide CLI telemetry, written once per run at finalize, never read by sim code
 
 // TotalEventsFired returns the simulator events executed by all runs in
 // this process so far. Monotone; each run adds its count as it finalizes.
 func TotalEventsFired() uint64 { return totalEvents.Load() }
+
+// Process-wide synchronization telemetry, accumulated by finalizeSharded
+// alongside totalEvents; the CLI footers read it via TotalSyncStats.
+var (
+	totalSyncWindows atomic.Uint64 //lint:shardsafe process-wide CLI telemetry, written once per run at finalize, never read by sim code
+	totalSyncElided  atomic.Uint64 //lint:shardsafe process-wide CLI telemetry, written once per run at finalize, never read by sim code
+	totalSyncWaits   atomic.Uint64 //lint:shardsafe process-wide CLI telemetry, written once per run at finalize, never read by sim code
+	totalSyncWidth   atomic.Uint64 //lint:shardsafe process-wide CLI telemetry, written once per run at finalize, never read by sim code
+)
+
+// TotalSyncStats returns the synchronization telemetry summed over every
+// sharded run in this process so far (windows, elided barriers, barrier
+// waits, window-width sum in cycles).
+func TotalSyncStats() (windows, elided, waits, widthSum uint64) {
+	return totalSyncWindows.Load(), totalSyncElided.Load(),
+		totalSyncWaits.Load(), totalSyncWidth.Load()
+}
 
 // Stats aggregates everything the paper's tables and figures need from one
 // run. Raw counters are filled during the run; finalizeStats folds in the
@@ -88,6 +106,13 @@ type Stats struct {
 	// the whole run — the simulator's own work metric (events/sec in the
 	// report footer). Never warmup-adjusted.
 	EventsFired uint64
+
+	// Sync holds the sharded engine's synchronization telemetry (windows,
+	// barrier waits, elisions, window widths). Execution mechanics, not
+	// simulation results: the values depend on the shard count and
+	// synchronization mode, while every other counter in Stats stays
+	// bit-identical across them. Zero for legacy (non-sharded) runs.
+	Sync sim.SyncStats
 
 	// Robustness counters (fault injection, graceful degradation, and
 	// invariant checking). Whole-run, never warmup-adjusted: faults and
@@ -421,6 +446,11 @@ func (m *Machine) finalizeSharded() {
 	}
 	s.EventsFired = m.sharded.Fired()
 	totalEvents.Add(s.EventsFired)
+	s.Sync = m.sharded.Telemetry()
+	totalSyncWindows.Add(s.Sync.Windows)
+	totalSyncElided.Add(s.Sync.ElidedBarriers)
+	totalSyncWaits.Add(s.Sync.BarrierWaits)
+	totalSyncWidth.Add(s.Sync.WindowWidthSum)
 }
 
 // SnoopsPerTransaction returns the mean cores snooped per transaction.

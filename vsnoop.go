@@ -124,7 +124,14 @@ type Config struct {
 	// serial). Results are bit-identical for every value; only wall-clock
 	// time changes. Non-shardable configurations (migration, content
 	// sharing, non-default geometries, ...) silently run serially.
+	// AutoShards resolves a sensible value for the current machine.
 	Shards int
+
+	// NoElision forces the fully-barriered windowed synchronization
+	// protocol on sharded runs, disabling adaptive free-running and
+	// quiet-window barrier elision. Results are bit-identical with and
+	// without it; only synchronization telemetry and wall-clock change.
+	NoElision bool
 
 	Seed uint64
 }
@@ -262,54 +269,41 @@ type Result struct {
 // runs: each run adds its count when it finishes.
 func TotalEventsFired() uint64 { return system.TotalEventsFired() }
 
+// TotalSyncCounters returns the sharded-engine synchronization telemetry
+// summed over every run in this process so far: synchronization windows,
+// elided exchange barriers, barrier waits, and the window-width sum in
+// cycles (widthSum/windows = mean window width). All zero when every run
+// executed serially.
+func TotalSyncCounters() (windows, elided, waits, widthSum uint64) {
+	return system.TotalSyncStats()
+}
+
+// AutoShards resolves the `-shards auto` CLI setting: min(4, maxProcs)
+// when cfg maps to a shardable system configuration, 1 otherwise. The
+// caller supplies maxProcs (typically runtime.GOMAXPROCS(0) read once at
+// program entry) so simulation packages stay free of wall-clock and
+// machine-environment reads.
+func AutoShards(cfg Config, maxProcs int) int {
+	sc, err := toSystem(cfg)
+	if err != nil || !sc.Shardable() {
+		return 1
+	}
+	k := 4
+	if maxProcs < k {
+		k = maxProcs
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
 // Run executes one simulation.
 func Run(cfg Config) (*Result, error) {
-	sc := system.DefaultConfig()
-	if cfg.Cores > 0 {
-		sc.Cores = cfg.Cores
+	sc, err := toSystem(cfg)
+	if err != nil {
+		return nil, err
 	}
-	if cfg.VMs > 0 {
-		sc.VMs = cfg.VMs
-	}
-	if cfg.VCPUsPerVM > 0 {
-		sc.VCPUsPerVM = cfg.VCPUsPerVM
-	}
-	switch {
-	case len(cfg.WorkloadPerVM) > 0:
-		sc.Workloads = cfg.WorkloadPerVM
-	case cfg.Workload != "":
-		sc.Workloads = []string{cfg.Workload}
-	default:
-		return nil, fmt.Errorf("vsnoop: no workload configured")
-	}
-	for _, w := range sc.Workloads {
-		if _, ok := workload.Get(w); !ok {
-			return nil, fmt.Errorf("vsnoop: unknown workload %q (see vsnoop.Workloads())", w)
-		}
-	}
-	sc.Filter = core.Config{
-		Policy:    core.Policy(cfg.Policy),
-		Content:   core.ContentPolicy(cfg.Content),
-		Threshold: cfg.Threshold,
-	}
-	if cfg.RefsPerVCPU > 0 {
-		sc.RefsPerVCPU = cfg.RefsPerVCPU
-	}
-	sc.WarmupRefs = cfg.WarmupRefs
-	sc.MigrationPeriodMs = cfg.MigrationPeriodMs
-	if cfg.CyclesPerMs > 0 {
-		sc.CyclesPerMs = cfg.CyclesPerMs
-	}
-	sc.ContentSharing = cfg.ContentSharing
-	sc.NoHypervisor = !cfg.Hypervisor
-	sc.Fault = cfg.Fault.toInternal()
-	sc.Checks = cfg.Checks
-	sc.MaxSteps = cfg.MaxSteps
-	sc.Shards = cfg.Shards
-	if cfg.Seed != 0 {
-		sc.Seed = cfg.Seed
-	}
-
 	m, err := system.New(sc)
 	if err != nil {
 		return nil, err
@@ -342,6 +336,57 @@ func Run(cfg Config) (*Result, error) {
 		EventsFired:          st.EventsFired,
 		Stats:                st,
 	}, nil
+}
+
+// toSystem maps the public configuration onto the internal one.
+func toSystem(cfg Config) (system.Config, error) {
+	sc := system.DefaultConfig()
+	if cfg.Cores > 0 {
+		sc.Cores = cfg.Cores
+	}
+	if cfg.VMs > 0 {
+		sc.VMs = cfg.VMs
+	}
+	if cfg.VCPUsPerVM > 0 {
+		sc.VCPUsPerVM = cfg.VCPUsPerVM
+	}
+	switch {
+	case len(cfg.WorkloadPerVM) > 0:
+		sc.Workloads = cfg.WorkloadPerVM
+	case cfg.Workload != "":
+		sc.Workloads = []string{cfg.Workload}
+	default:
+		return sc, fmt.Errorf("vsnoop: no workload configured")
+	}
+	for _, w := range sc.Workloads {
+		if _, ok := workload.Get(w); !ok {
+			return sc, fmt.Errorf("vsnoop: unknown workload %q (see vsnoop.Workloads())", w)
+		}
+	}
+	sc.Filter = core.Config{
+		Policy:    core.Policy(cfg.Policy),
+		Content:   core.ContentPolicy(cfg.Content),
+		Threshold: cfg.Threshold,
+	}
+	if cfg.RefsPerVCPU > 0 {
+		sc.RefsPerVCPU = cfg.RefsPerVCPU
+	}
+	sc.WarmupRefs = cfg.WarmupRefs
+	sc.MigrationPeriodMs = cfg.MigrationPeriodMs
+	if cfg.CyclesPerMs > 0 {
+		sc.CyclesPerMs = cfg.CyclesPerMs
+	}
+	sc.ContentSharing = cfg.ContentSharing
+	sc.NoHypervisor = !cfg.Hypervisor
+	sc.Fault = cfg.Fault.toInternal()
+	sc.Checks = cfg.Checks
+	sc.MaxSteps = cfg.MaxSteps
+	sc.Shards = cfg.Shards
+	sc.NoElision = cfg.NoElision
+	if cfg.Seed != 0 {
+		sc.Seed = cfg.Seed
+	}
+	return sc, nil
 }
 
 // Workloads returns the names of all calibrated application profiles.

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +41,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "run seed")
 	list := flag.Bool("list", false, "list workloads and exit")
 	check := flag.Bool("check", false, "enable online coherence invariant checking")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none); a timed-out run exits nonzero")
 	shardsFlag := flag.String("shards", "0", `parallel event-queue shards: a count, or "auto" for min(4, GOMAXPROCS) on shardable configs (0 or 1 = serial; results are bit-identical)`)
 	noElision := flag.Bool("no-elision", false, "force fully-barriered window synchronization (disable adaptive free-running and barrier elision)")
 	maxSteps := flag.Uint64("max-steps", 0, "abort after this many simulation events (0 = unbounded)")
@@ -153,8 +155,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := vsnoop.Run(cfg)
+	res, err := vsnoop.RunCtx(ctx, cfg)
 	wall := time.Since(start)
 	profiles.Stop()
 	if err != nil {

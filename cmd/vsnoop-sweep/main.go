@@ -8,17 +8,25 @@
 // so parallel output is byte-identical to -workers=1. A failing
 // configuration aborts the sweep with a non-zero exit identifying it.
 //
+// SIGINT (or an exhausted -timeout) stops the sweep gracefully: rows
+// already completed are flushed — the emitted CSV is always the exact
+// prefix a serial sweep would have produced — and the process exits 1
+// after reporting how far it got.
+//
 // Usage:
 //
 //	vsnoop-sweep -workloads fft,ocean -periods 5,2.5,0.5,0.1 -workers 8 > sweep.csv
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"vsnoop"
 	"vsnoop/internal/prof"
@@ -47,6 +55,7 @@ func main() {
 	warmup := flag.Int("warmup", 3000, "warmup references per vCPU")
 	cyclesPerMs := flag.Uint64("cycles-per-ms", 12000, "cycles per scheduler millisecond")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit for the whole sweep (0 = none); completed rows are flushed on expiry")
 	var profiles prof.Flags
 	profiles.AddFlags(nil)
 	flag.Parse()
@@ -89,17 +98,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT/SIGTERM and -timeout share one context: either stops new
+	// dispatches, cancels in-flight runs, and flushes the completed prefix.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	fmt.Println("workload,period_ms,policy,snoops_per_txn,traffic_byte_hops,exec_cycles,relocations,retries,persistent")
 	var failed *job
 	var failure error
-	runner.Stream(*workers, len(jobs), func(i int) outcome {
-		res, err := vsnoop.Run(jobs[i].cfg)
+	rows := 0
+	interrupted := runner.StreamCtx(ctx, *workers, len(jobs), func(i int) outcome {
+		res, err := vsnoop.RunCtx(ctx, jobs[i].cfg)
 		return outcome{res: res, err: err}
 	}, func(i int, o outcome) {
 		if failure != nil {
 			return // already failing: suppress rows after the first error
 		}
 		if o.err != nil {
+			if ctx.Err() != nil {
+				return // canceled run, not a simulation failure
+			}
 			failed, failure = &jobs[i], o.err
 			return
 		}
@@ -108,12 +131,18 @@ func main() {
 			j.workload, j.period, j.policy, res.SnoopsPerTransaction,
 			res.TrafficByteHops, res.ExecCycles,
 			res.Relocations, res.Retries, res.Persistent)
+		rows++
 	})
 	profiles.Stop()
 
 	if failure != nil {
 		fmt.Fprintf(os.Stderr, "vsnoop-sweep: workload=%s period=%gms policy=%s: %v\n",
 			failed.workload, failed.period, failed.policy, failure)
+		os.Exit(1)
+	}
+	if interrupted != nil {
+		fmt.Fprintf(os.Stderr, "vsnoop-sweep: %v: interrupted after %d of %d rows\n",
+			interrupted, rows, len(jobs))
 		os.Exit(1)
 	}
 }

@@ -14,6 +14,7 @@ import (
 type goldenRow struct {
 	name        string
 	cfg         Config
+	hash        string // canonical Config.Hash(), pinned cross-process
 	execCycles  uint64
 	snoopsPerTx string // %.6f
 	byteHops    uint64
@@ -65,10 +66,18 @@ func goldenConfigs() []goldenRow {
 	// non-shardable rows (migration, content sharing, scheduled faults) pin
 	// the legacy engine and kept their pre-overhaul values.
 	return []goldenRow{
-		{"fft-counter-mig", mig, 278331, "4.197568", 5800672, 14886, 14886, 0, 0, 2},
-		{"ocean-threshold-pinned", pinned, 447681, "4.000000", 9986704, 27981, 27981, 0, 0, 0},
-		{"radix-base-content", content, 315169, "4.000000", 6763520, 19106, 19106, 0, 0, 0},
-		{"fft-flush-fault", faulted, 232303, "5.594438", 5846832, 12908, 12908, 303, 0, 10},
+		{"fft-counter-mig", mig,
+			"66542c6275f872efe9b274d7183cd68bd6467bb541ca896ab74a4d4c2b9b49ed",
+			278331, "4.197568", 5800672, 14886, 14886, 0, 0, 2},
+		{"ocean-threshold-pinned", pinned,
+			"00ee7e2a6c67fe59ce5ef08cc7c983805430b47ebdab425b3329ae15043adead",
+			447681, "4.000000", 9986704, 27981, 27981, 0, 0, 0},
+		{"radix-base-content", content,
+			"7dc01c8c9856f330abb4ef0f8c9c60f3f615fb9568828eb7d90a5b61a0d70673",
+			315169, "4.000000", 6763520, 19106, 19106, 0, 0, 0},
+		{"fft-flush-fault", faulted,
+			"b0fbee7cced2e37b1e7b0bbc3f29d0e6b1a9c3ede7ed65ab6c8f02a5264791cf",
+			232303, "5.594438", 5846832, 12908, 12908, 303, 0, 10},
 	}
 }
 
@@ -109,6 +118,18 @@ func TestGoldenResults(t *testing.T) {
 				t.Errorf("Relocations = %d, want %d", res.Relocations, g.relocations)
 			}
 		})
+	}
+}
+
+// TestGoldenHashes pins each golden row's canonical Config.Hash to a
+// literal digest. Because the digests are string constants committed to the
+// repo, this doubles as the cross-process stability test: any process, any
+// machine, any Go version must encode these configs to the same bytes.
+func TestGoldenHashes(t *testing.T) {
+	for _, g := range goldenConfigs() {
+		if h := g.cfg.Hash(); h != g.hash {
+			t.Errorf("%s: Hash() = %s, want %s", g.name, h, g.hash)
+		}
 	}
 }
 

@@ -6,7 +6,10 @@
 //     sharded replay is bit-identical to serial. The #1 threat is Go map
 //     iteration order; the #2 is wall-clock time and ambient randomness
 //     leaking into simulation code. The maprange and wallclock analyzers
-//     forbid both in the sim-critical packages.
+//     forbid both in the sim-critical packages, and also in the
+//     deterministic-only packages (the serving tier), whose
+//     content-addressed memoization and journal replay depend on the code
+//     around the simulator being order- and clock-independent too.
 //   - Hot-path allocation discipline — the PR-2 event kernel is zero-alloc
 //     at steady state, enforced at runtime by AllocsPerRun gates. The
 //     hotalloc analyzer enforces it at the syntax level for every function
@@ -89,12 +92,38 @@ func DefaultCritical(modPath string) func(pkgPath string) bool {
 	return func(p string) bool { return set[p] }
 }
 
+// DeterministicDirs are the deterministic-only package directories: code
+// that must stay a pure function of its inputs (no map-order dependence, no
+// ambient clock/env reads) but legitimately uses goroutines, channels, and
+// atomics for its own concurrency, so the shard-isolation and hot-path
+// rules do not apply. The serving tier lives here: its memoization story is
+// "same config hash ⇒ same stored bytes", which only holds if the code
+// around the simulator is as deterministic as the simulator itself — while
+// its worker pool, singleflight, and metrics are exactly the kind of
+// concurrency shardsafe exists to forbid in sim code.
+var DeterministicDirs = []string{"internal/serve"}
+
+// DefaultDeterministic returns the deterministic-only predicate for a
+// module, mirroring DefaultCritical over DeterministicDirs.
+func DefaultDeterministic(modPath string) func(pkgPath string) bool {
+	set := make(map[string]bool, len(DeterministicDirs))
+	for _, d := range DeterministicDirs {
+		set[modPath+"/"+d] = true
+	}
+	return func(p string) bool { return set[p] }
+}
+
 // Options configures a Run.
 type Options struct {
 	// Critical reports whether a package is sim-critical (maprange and
-	// wallclock apply only there; shardsafe roots only there). Nil means
+	// wallclock apply there; shardsafe roots only there). Nil means
 	// DefaultCritical(mod.Path).
 	Critical func(pkgPath string) bool
+	// Deterministic reports whether a package is deterministic-only:
+	// maprange and wallclock apply, but shardsafe and hotalloc do not —
+	// the package may use goroutines, channels, and atomics freely. Nil
+	// means DefaultDeterministic(mod.Path).
+	Deterministic func(pkgPath string) bool
 	// Selected filters which packages findings are reported for (the
 	// analysis itself is always whole-module, which shardsafe requires).
 	// Nil selects every package.
@@ -121,6 +150,9 @@ func (o *Options) runs(name string) bool {
 func Run(mod *Module, opts Options) []Finding {
 	if opts.Critical == nil {
 		opts.Critical = DefaultCritical(mod.Path)
+	}
+	if opts.Deterministic == nil {
+		opts.Deterministic = DefaultDeterministic(mod.Path)
 	}
 	if opts.Selected == nil {
 		opts.Selected = func(string) bool { return true }

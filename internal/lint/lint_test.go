@@ -34,10 +34,17 @@ func loadFixture(t *testing.T, name string) *Module {
 	return mod
 }
 
-// checkFixture runs the full suite over one fixture and verifies the
-// findings against its want comments: every finding needs a matching want
-// on its line, and every want must be consumed.
+// checkFixture runs the full suite over one fixture with every package
+// treated as sim-critical; checkFixtureWith does the same under caller
+// scoping. Findings are verified against the fixture's want comments:
+// every finding needs a matching want on its line, and every want must be
+// consumed.
 func checkFixture(t *testing.T, name string) {
+	t.Helper()
+	checkFixtureWith(t, name, fixtureOptions())
+}
+
+func checkFixtureWith(t *testing.T, name string, opts Options) {
 	t.Helper()
 	mod := loadFixture(t, name)
 
@@ -66,7 +73,7 @@ func checkFixture(t *testing.T, name string) {
 		t.Fatalf("fixture %s has no want comments", name)
 	}
 
-	findings := Run(mod, fixtureOptions())
+	findings := Run(mod, opts)
 	for _, f := range findings {
 		ok := false
 		for _, w := range wants {
@@ -95,6 +102,32 @@ func TestShardSafeFixture(t *testing.T) { checkFixture(t, "shardsafe") }
 // TestShardAtomicFixture covers the atomic-confinement half of shardsafe:
 // the allowlisted internal/sim structs pass, everything else is flagged.
 func TestShardAtomicFixture(t *testing.T) { checkFixture(t, "shardatomic") }
+
+// TestServeScopeFixture covers the deterministic-only package class, the
+// scoping the real module applies to internal/serve: goroutines, channels,
+// mutexes, atomics on arbitrary structs, and package-level state draw no
+// findings (shardsafe and hotalloc do not apply), while map iteration and
+// ambient inputs are still flagged by maprange and wallclock.
+func TestServeScopeFixture(t *testing.T) {
+	checkFixtureWith(t, "servescope", Options{
+		Critical:      func(string) bool { return false },
+		Deterministic: func(string) bool { return true },
+	})
+}
+
+// TestServeScopeNotCovered is the control: with the fixture in neither
+// class, nothing at all is reported — the deterministic-only findings in
+// TestServeScopeFixture really do come from the new scoping.
+func TestServeScopeNotCovered(t *testing.T) {
+	mod := loadFixture(t, "servescope")
+	opts := Options{
+		Critical:      func(string) bool { return false },
+		Deterministic: func(string) bool { return false },
+	}
+	if fs := Run(mod, opts); len(fs) != 0 {
+		t.Errorf("unscoped fixture must be silent, got %v", fs)
+	}
+}
 
 // TestWaiverGrammar checks the negative fixture: a reason-less waiver and a
 // misspelled key are findings themselves AND fail to suppress the map

@@ -6,22 +6,25 @@ import (
 )
 
 // mapRangeAnalyzer flags `for ... range` over map-typed expressions in
-// sim-critical packages. Go randomizes map iteration order per run, so a
-// map range in a stats merge, a destination-set scan, or any other
-// sim-visible path silently breaks bit-identical replay — the property the
-// golden rows and the K∈{1,2,4} determinism suites exist to protect. Loops
-// whose effect genuinely cannot depend on order (a commutative sum, a
-// collect-then-sort key harvest) carry a //lint:ordered waiver saying why.
+// sim-critical and deterministic-only packages. Go randomizes map iteration
+// order per run, so a map range in a stats merge, a destination-set scan,
+// or any other sim-visible path silently breaks bit-identical replay — the
+// property the golden rows and the K∈{1,2,4} determinism suites exist to
+// protect. In the serving tier the same rule protects journal/replay
+// equivalence: recovery must observe the exact record order a live run
+// produced. Loops whose effect genuinely cannot depend on order (a
+// commutative sum, a collect-then-sort key harvest) carry a //lint:ordered
+// waiver saying why.
 var mapRangeAnalyzer = &Analyzer{
 	Name:      "maprange",
-	Doc:       "forbids map iteration in sim-critical packages (nondeterministic order)",
+	Doc:       "forbids map iteration in sim-critical and deterministic-only packages (nondeterministic order)",
 	WaiverKey: "ordered",
 	Run:       runMapRange,
 }
 
 func runMapRange(mod *Module, opts Options, report ReportFn) {
 	for _, pkg := range mod.Pkgs {
-		if !opts.Critical(pkg.Path) {
+		if !opts.Critical(pkg.Path) && !opts.Deterministic(pkg.Path) {
 			continue
 		}
 		for _, f := range pkg.Files {

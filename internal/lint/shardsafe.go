@@ -48,11 +48,13 @@ var shardSafeAnalyzer = &Analyzer{
 }
 
 // atomicStructAllowlist names the internal/sim structs whose atomic fields
-// implement the sharded synchronization protocol. Only fields of these
-// structs, in a package whose import path ends in internal/sim, may have
-// sync/atomic types without a waiver.
+// implement the sharded synchronization protocol (plus the Canceler control
+// word polled by StepChecked). Only fields of these structs, in a package
+// whose import path ends in internal/sim, may have sync/atomic types
+// without a waiver.
 var atomicStructAllowlist = map[string]bool{
 	"barrier": true, "shardSlot": true, "mailbox": true, "ShardedEngine": true,
+	"Canceler": true,
 }
 
 // schedulerFuncs are method/function names whose function-typed arguments

@@ -5,20 +5,23 @@ import (
 	"go/types"
 )
 
-// wallClockAnalyzer forbids ambient inputs in sim-critical packages: wall
-// clock reads, environment lookups, and the global math/rand source. A
-// simulation run must be a pure function of its configuration — simulated
-// time comes from sim.Engine.Now and all randomness from seeded sim.Rand
-// streams (or an explicitly constructed, seeded *rand.Rand plumbed through
-// config). Methods on a *rand.Rand value are allowed; the package-level
-// convenience functions draw from the shared, unseeded global source and
-// are not. Host parallelism (runtime.GOMAXPROCS / runtime.NumCPU) is
-// ambient too: a shard count derived inside sim code would make results
-// depend on the machine, so the CLIs read it once at entry and plumb the
-// value down (vsnoop.AutoShards).
+// wallClockAnalyzer forbids ambient inputs in sim-critical and
+// deterministic-only packages: wall clock reads, environment lookups, and
+// the global math/rand source. A simulation run must be a pure function of
+// its configuration — simulated time comes from sim.Engine.Now and all
+// randomness from seeded sim.Rand streams (or an explicitly constructed,
+// seeded *rand.Rand plumbed through config). Methods on a *rand.Rand value
+// are allowed; the package-level convenience functions draw from the
+// shared, unseeded global source and are not. Host parallelism
+// (runtime.GOMAXPROCS / runtime.NumCPU) is ambient too: a shard count
+// derived inside sim code would make results depend on the machine, so the
+// CLIs read it once at entry and plumb the value down (vsnoop.AutoShards).
+// The serving tier follows the same discipline with an injected clock
+// (serve.Options.Now), which keeps quota refill and job timing testable
+// under a fake clock.
 var wallClockAnalyzer = &Analyzer{
 	Name:      "wallclock",
-	Doc:       "forbids time.Now/Since, os.Getenv, runtime.GOMAXPROCS, and global math/rand in sim-critical packages",
+	Doc:       "forbids time.Now/Since, os.Getenv, runtime.GOMAXPROCS, and global math/rand in sim-critical and deterministic-only packages",
 	WaiverKey: "wallclock",
 	Run:       runWallClock,
 }
@@ -58,7 +61,7 @@ var allowedRand = map[string]bool{
 
 func runWallClock(mod *Module, opts Options, report ReportFn) {
 	for _, pkg := range mod.Pkgs {
-		if !opts.Critical(pkg.Path) {
+		if !opts.Critical(pkg.Path) && !opts.Deterministic(pkg.Path) {
 			continue
 		}
 		for _, f := range pkg.Files {

@@ -1,0 +1,162 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStreamCtxMatchesStream: with a context that never fires, StreamCtx
+// emits exactly what Stream does, in the same order.
+func TestStreamCtxMatchesStream(t *testing.T) {
+	const n = 50
+	fn := func(i int) int { return i * i }
+	var want []int
+	Stream(4, n, fn, func(_ int, v int) { want = append(want, v) })
+	var got []int
+	err := StreamCtx(context.Background(), 4, n, fn, func(_ int, v int) { got = append(got, v) })
+	if err != nil {
+		t.Fatalf("StreamCtx: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("emitted %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestStreamCtxCancelPrefix cancels mid-sweep and requires (a) ctx.Err()
+// returned, (b) the emitted rows to be the contiguous prefix 0..k in order,
+// and (c) every started job to have been emitted — no dropped completions.
+func TestStreamCtxCancelPrefix(t *testing.T) {
+	const n = 200
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	fn := func(i int) int {
+		started.Add(1)
+		if i == 10 {
+			cancel()
+			once.Do(func() { close(release) })
+		}
+		if i > 10 {
+			<-release // jobs dispatched alongside/after the cancel
+		}
+		return i
+	}
+	var emitted []int
+	err := StreamCtx(ctx, 4, n, fn, func(i int, v int) { emitted = append(emitted, v) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if int64(len(emitted)) != started.Load() {
+		t.Fatalf("emitted %d rows but started %d jobs", len(emitted), started.Load())
+	}
+	if len(emitted) == n {
+		t.Fatal("cancel had no effect: all jobs ran")
+	}
+	for i, v := range emitted {
+		if v != i {
+			t.Fatalf("emitted[%d] = %d: not the contiguous prefix", i, v)
+		}
+	}
+}
+
+// TestStreamCtxPreCanceled: an already-fired context dispatches nothing.
+func TestStreamCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := StreamCtx(ctx, 4, 10, func(i int) int { ran = true; return i },
+		func(int, int) { ran = true })
+	if !errors.Is(err, context.Canceled) || ran {
+		t.Fatalf("err=%v ran=%v, want Canceled and no work", err, ran)
+	}
+}
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(3, 8)
+	var sum atomic.Int64
+	for i := 1; i <= 100; i++ {
+		i := i
+		for !p.TrySubmit(func() { sum.Add(int64(i)) }) {
+		}
+	}
+	p.Close()
+	if sum.Load() != 5050 {
+		t.Fatalf("sum = %d, want 5050", sum.Load())
+	}
+}
+
+// TestPoolBackpressure fills the queue with blocked tasks and requires
+// TrySubmit to refuse — without blocking — until capacity frees.
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(1, 2)
+	gate := make(chan struct{})
+	running := make(chan struct{})
+	if !p.TrySubmit(func() { close(running); <-gate }) {
+		t.Fatal("submit to empty pool refused")
+	}
+	<-running // worker is occupied; queue is empty again
+	if !p.TrySubmit(func() {}) || !p.TrySubmit(func() {}) {
+		t.Fatal("queue capacity 2 refused before full")
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("full queue accepted a task")
+	}
+	if d := p.Depth(); d != 2 {
+		t.Fatalf("Depth = %d, want 2", d)
+	}
+	close(gate)
+	p.Close()
+}
+
+// TestPoolCloseRefuses: Close is idempotent, drains queued work, and makes
+// TrySubmit refuse.
+func TestPoolCloseRefuses(t *testing.T) {
+	p := NewPool(2, 4)
+	var done atomic.Int64
+	for i := 0; i < 4; i++ {
+		for !p.TrySubmit(func() { done.Add(1) }) {
+		}
+	}
+	p.Close()
+	p.Close()
+	if done.Load() != 4 {
+		t.Fatalf("Close drained %d of 4 tasks", done.Load())
+	}
+	if p.TrySubmit(func() {}) {
+		t.Fatal("closed pool accepted a task")
+	}
+}
+
+// TestPoolSubmitCloseRace hammers TrySubmit from many goroutines while
+// Close runs; under -race this pins the closed-channel guard.
+func TestPoolSubmitCloseRace(t *testing.T) {
+	p := NewPool(2, 2)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					p.TrySubmit(func() {})
+				}
+			}
+		}()
+	}
+	p.Close()
+	close(stop)
+	wg.Wait()
+}

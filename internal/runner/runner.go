@@ -11,6 +11,7 @@
 package runner
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -107,4 +108,133 @@ func Stream[T any](workers, n int, fn func(i int) T, emit func(i int, v T)) {
 	}
 	close(next)
 	wg.Wait()
+}
+
+// StreamCtx is Stream with cancellation: once ctx fires, no further jobs
+// are dispatched and StreamCtx returns ctx.Err() after in-flight jobs
+// drain. Jobs are dispatched in ascending order and every dispatched job
+// completes and is emitted, so the emitted results always form a contiguous
+// prefix 0..k — a partially canceled sweep yields exactly the rows a serial
+// sweep would have produced before stopping, never a gap. fn should watch
+// the same ctx (e.g. via vsnoop.RunCtx) so in-flight jobs stop promptly
+// too; a job canceled mid-run still gets its (error) result emitted.
+func StreamCtx[T any](ctx context.Context, workers, n int, fn func(i int) T, emit func(i int, v T)) error {
+	if n == 0 {
+		return ctx.Err()
+	}
+	w := Workers(workers, n)
+	var (
+		mu      sync.Mutex
+		ready   = make(map[int]T, w)
+		nextOut = 0
+	)
+	deliver := func(i int, v T) {
+		mu.Lock()
+		ready[i] = v
+		for {
+			r, ok := ready[nextOut]
+			if !ok {
+				break
+			}
+			delete(ready, nextOut)
+			emit(nextOut, r)
+			nextOut++
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				deliver(i, fn(i))
+			}
+		}()
+	}
+	var err error
+	for i := 0; i < n; i++ {
+		if err = ctx.Err(); err != nil {
+			break
+		}
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			err = ctx.Err()
+		}
+		if err != nil {
+			break
+		}
+	}
+	close(next)
+	wg.Wait()
+	return err
+}
+
+// Pool is a long-lived bounded worker pool for servers: a fixed number of
+// workers drain a fixed-capacity task queue, and submission never blocks —
+// a full queue is reported to the caller, who sheds load (HTTP 429) instead
+// of queueing unboundedly. This is the admission-control primitive behind
+// vsnoop-serve: queue capacity bounds memory, TrySubmit's failure is the
+// backpressure signal.
+type Pool struct {
+	tasks chan func()
+	mu    sync.RWMutex // guards closed vs TrySubmit's send
+	close bool
+	wg    sync.WaitGroup
+}
+
+// NewPool starts workers goroutines draining a queue of the given capacity
+// (minimums of 1 are applied to both).
+func NewPool(workers, queue int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 1 {
+		queue = 1
+	}
+	p := &Pool{tasks: make(chan func(), queue)}
+	for k := 0; k < workers; k++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for t := range p.tasks {
+				t()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues t without ever blocking. It reports false — the
+// backpressure signal — when the queue is full or the pool is closed.
+func (p *Pool) TrySubmit(t func()) bool {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.close {
+		return false
+	}
+	select {
+	case p.tasks <- t:
+		return true
+	default:
+		return false
+	}
+}
+
+// Depth returns the number of tasks queued but not yet picked up by a
+// worker (the /metrics queue-depth gauge).
+func (p *Pool) Depth() int { return len(p.tasks) }
+
+// Close stops intake and waits until every queued and running task has
+// finished. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.close {
+		p.close = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
 }

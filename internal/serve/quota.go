@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// maxTenants bounds the quota table: admission control must itself use
+// bounded memory, or an attacker minting tenant names turns the defense
+// into the attack. When the table is full, the stalest bucket (the one
+// whose tokens would be fullest now) is recycled — forgetting an idle
+// tenant merely refills their bucket, which is safe.
+const maxTenants = 1024
+
+// bucket is one tenant's token bucket. Tokens are "configs": a single run
+// costs 1, a sweep costs its expanded config count.
+type bucket struct {
+	tenant string
+	tokens float64
+	last   time.Time
+}
+
+// quotaTable implements per-tenant token-bucket admission control. All
+// time is passed in by the caller (the server's injected clock) — the
+// table never reads an ambient clock, so tests drive it deterministically
+// and the wallclock lint holds.
+type quotaTable struct {
+	rate  float64 // tokens per second per tenant; <= 0 disables quotas
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	idx     map[string]int // tenant -> index in buckets (lookup only, never ranged)
+	buckets []bucket
+}
+
+func newQuota(rate, burst float64) *quotaTable {
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotaTable{rate: rate, burst: burst, idx: make(map[string]int)}
+}
+
+// allow charges tenant cost tokens at time now. On refusal it returns the
+// duration after which the charge would succeed — the Retry-After value.
+// Costs above the burst are clamped to it, so a sweep larger than one full
+// bucket is still admittable (it drains the bucket completely).
+func (q *quotaTable) allow(tenant string, now time.Time, cost float64) (bool, time.Duration) {
+	if q.rate <= 0 {
+		return true, 0
+	}
+	if cost > q.burst {
+		cost = q.burst
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	i, ok := q.idx[tenant]
+	if !ok {
+		i = q.place(tenant, now)
+	}
+	b := &q.buckets[i]
+	if el := now.Sub(b.last).Seconds(); el > 0 {
+		b.tokens += el * q.rate
+		if b.tokens > q.burst {
+			b.tokens = q.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= cost {
+		b.tokens -= cost
+		return true, 0
+	}
+	deficit := cost - b.tokens
+	retry := time.Duration(deficit / q.rate * float64(time.Second))
+	if retry < time.Second {
+		retry = time.Second
+	}
+	return false, retry
+}
+
+// place installs a bucket for a new tenant, recycling the stalest slot
+// when the table is full. The victim scan walks the slice — maps are
+// lookup-only in this package.
+func (q *quotaTable) place(tenant string, now time.Time) int {
+	if len(q.buckets) < maxTenants {
+		q.buckets = append(q.buckets, bucket{tenant: tenant, tokens: q.burst, last: now})
+		q.idx[tenant] = len(q.buckets) - 1
+		return len(q.buckets) - 1
+	}
+	victim := 0
+	best := -1.0
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		// Effective fill if refreshed now; fullest bucket = longest idle.
+		fill := b.tokens + now.Sub(b.last).Seconds()*q.rate
+		if fill > best {
+			best, victim = fill, i
+		}
+	}
+	delete(q.idx, q.buckets[victim].tenant)
+	q.buckets[victim] = bucket{tenant: tenant, tokens: q.burst, last: now}
+	q.idx[tenant] = victim
+	return victim
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+
+	"vsnoop"
+)
+
+// Record is one stored result: the canonical hash, the normalized
+// configuration that produced it, and the simulation result. Stored
+// records are normalized so that byte equality is meaningful:
+//
+//   - Config.Shards and Config.NoElision are zeroed — they are execution
+//     mechanics excluded from the hash, and results are bit-identical
+//     across them, so a record computed at any shard count serves all.
+//   - Result.Stats is dropped: the low-level record embeds synchronization
+//     telemetry (barrier waits, window widths), which measures how the run
+//     was executed, not what it computed.
+//
+// Everything that remains is a pure function of the hash.
+type Record struct {
+	Hash   string         `json:"hash"`
+	Config vsnoop.Config  `json:"config"`
+	Result *vsnoop.Result `json:"result"`
+}
+
+// normalizeRecord builds the canonical stored form.
+func normalizeRecord(cfg vsnoop.Config, res *vsnoop.Result) Record {
+	cfg.Shards = 0
+	cfg.NoElision = false
+	r := *res
+	r.Stats = nil
+	return Record{Hash: cfg.Hash(), Config: cfg, Result: &r}
+}
+
+// store is the content-addressed result store: one JSON file per hash,
+// written with the write-temp + fsync + rename + dir-fsync pattern so a
+// file either exists completely or not at all — kill -9 can never leave a
+// half-written result visible under its final name.
+type store struct {
+	dir    string
+	frozen atomic.Bool
+}
+
+func openStore(dir string) (*store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &store{dir: dir}, nil
+}
+
+// validHash reports whether h is a lowercase hex SHA-256 — both an API
+// input check and a path-traversal guard (hashes become file names).
+func validHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	for i := 0; i < len(h); i++ {
+		c := h[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *store) path(hash string) string {
+	return filepath.Join(s.dir, hash+".json")
+}
+
+// raw returns the stored bytes for hash, exactly as written. Serving raw
+// bytes (rather than re-marshaling) is what makes "bit-identical re-serve"
+// literal: two GETs of the same hash — before and after a crash, from a
+// replayed or a fresh computation — return the same bytes.
+func (s *store) raw(hash string) ([]byte, bool, error) {
+	if !validHash(hash) {
+		return nil, false, fmt.Errorf("store: invalid hash %q", hash)
+	}
+	data, err := os.ReadFile(s.path(hash))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+// get reads and validates the record for hash.
+func (s *store) get(hash string) (*Record, bool, error) {
+	data, ok, err := s.raw(hash)
+	if !ok || err != nil {
+		return nil, false, err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, false, fmt.Errorf("store: corrupt record %s: %w", hash, err)
+	}
+	if rec.Hash != hash {
+		return nil, false, fmt.Errorf("store: record %s claims hash %s", hash, rec.Hash)
+	}
+	return &rec, true, nil
+}
+
+// put durably writes rec, keyed by its hash. Writing the same hash twice
+// is a no-op (first write wins; determinism guarantees the bytes would
+// match anyway, and keeping the original preserves byte identity).
+func (s *store) put(rec Record) error {
+	if s.frozen.Load() {
+		return fmt.Errorf("store: frozen (server aborted)")
+	}
+	if !validHash(rec.Hash) {
+		return fmt.Errorf("store: invalid hash %q", rec.Hash)
+	}
+	final := s.path(rec.Hash)
+	if _, err := os.Stat(final); err == nil {
+		return nil
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(data, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if s.frozen.Load() {
+		os.Remove(tmp)
+		return fmt.Errorf("store: frozen (server aborted)")
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// freeze suppresses further writes (Abort; see journal.freeze).
+func (s *store) freeze() { s.frozen.Store(true) }

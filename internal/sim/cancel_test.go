@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestCancelStopsEngine trips the Canceler from inside an event handler and
+// checks that the bounded-step loop surfaces a CanceledError within one
+// polling period instead of draining the rest of the chain.
+func TestCancelStopsEngine(t *testing.T) {
+	e := NewEngine()
+	c := NewCanceler()
+	e.SetCancel(c)
+	const chain = 10 * (cancelPollMask + 1)
+	fired := 0
+	var step func()
+	step = func() {
+		fired++
+		if fired == 3 {
+			c.Cancel()
+		}
+		if fired < chain {
+			e.Schedule(1, step)
+		}
+	}
+	e.Schedule(1, step)
+	err := e.RunBoundedSteps(2 * chain)
+	var ce *CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("RunBoundedSteps = %v, want *CanceledError", err)
+	}
+	if fired >= chain {
+		t.Fatalf("fired %d events, cancel never took effect", fired)
+	}
+	// The poll runs every cancelPollMask+1 events, so at most one full
+	// period may elapse between Cancel and the stop.
+	if fired > 3+cancelPollMask+1 {
+		t.Fatalf("fired %d events after cancel at 3; poll period is %d", fired, cancelPollMask+1)
+	}
+	if ce.Now == 0 || ce.Pending == 0 {
+		t.Fatalf("CanceledError position empty: %+v", ce)
+	}
+}
+
+// TestCancelCompletedRunUnaffected pins the control-plane contract: a run
+// that finishes before its Canceler trips is bit-identical to a run with no
+// Canceler at all.
+func TestCancelCompletedRunUnaffected(t *testing.T) {
+	run := func(c *Canceler) ([]Cycle, uint64) {
+		e := NewEngine()
+		e.SetCancel(c)
+		var trace []Cycle
+		for i := Cycle(1); i <= 600; i++ {
+			e.Schedule(i, func() { trace = append(trace, e.Now()) })
+		}
+		if err := e.RunBoundedSteps(1000); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return trace, e.Fired()
+	}
+	plainTrace, plainFired := run(nil)
+	withTrace, withFired := run(NewCanceler())
+	if plainFired != withFired || len(plainTrace) != len(withTrace) {
+		t.Fatalf("fired %d/%d trace %d/%d: Canceler changed a completed run",
+			plainFired, withFired, len(plainTrace), len(withTrace))
+	}
+	for i := range plainTrace {
+		if plainTrace[i] != withTrace[i] {
+			t.Fatalf("trace[%d] = %d vs %d", i, plainTrace[i], withTrace[i])
+		}
+	}
+}
+
+// TestCancelNilSafety: a nil *Canceler must be inert on both methods so
+// callers can thread an optional canceler without guarding every call site.
+func TestCancelNilSafety(t *testing.T) {
+	var c *Canceler
+	c.Cancel() // must not panic
+	if c.Canceled() {
+		t.Fatal("nil Canceler reports canceled")
+	}
+}
+
+// cancelPingPong builds the same synthetic 4-domain workload as
+// runPingPong but with an endless event chain, attaches a Canceler, and
+// cancels from another goroutine once any domain has run a while. Covers
+// the cross-goroutine path used by vsnoop-serve: the HTTP handler cancels,
+// the shard workers observe.
+func cancelPingPong(t *testing.T, domShard []int, disable bool) error {
+	t.Helper()
+	const L = 6
+	se := NewSharded(domShard, L)
+	se.DisableElision = disable
+	c := NewCanceler()
+	se.SetCancel(c)
+	nd := len(domShard)
+	type domState struct {
+		eng *Engine
+		d   int
+	}
+	doms := make([]*domState, nd)
+	for d := range doms {
+		doms[d] = &domState{eng: se.Eng(domShard[d]), d: d}
+	}
+	const crossMark = uint64(1) << 40
+	started := make(chan struct{})
+	var once sync.Once
+	var step HandlerFn
+	step = func(arg interface{}, u uint64) {
+		ad := arg.(*domState)
+		now := ad.eng.Now()
+		if u&^crossMark > 2*(cancelPollMask+1) {
+			once.Do(func() { close(started) })
+		}
+		if u&crossMark != 0 {
+			return // cross arrivals are leaf events, as in runPingPong
+		}
+		// Endless chain: only cancellation stops this run.
+		ad.eng.ScheduleFnAtDom(now+1+Cycle(u%3), int32(ad.d), step, ad, u+1)
+		if u%5 == 2 {
+			dst := (ad.d + 1) % nd
+			ad.eng.ScheduleFnAtDom(now+L+Cycle(u%4), int32(dst), step, doms[dst], crossMark|u)
+		}
+	}
+	for d := range doms {
+		doms[d].eng.SetCurDomain(int32(d))
+		doms[d].eng.ScheduleFnAt(Cycle(d), step, doms[d], 0)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- se.Run() }()
+	<-started
+	c.Cancel()
+	return <-errc
+}
+
+// TestCancelSharded drives an endless workload on every synchronization
+// mode (serial, windowed/barriered, adaptive) and cancels mid-flight from
+// another goroutine. Each mode must stop promptly with a CanceledError
+// rather than hang or deadlock on a barrier.
+func TestCancelSharded(t *testing.T) {
+	cases := []struct {
+		name     string
+		domShard []int
+		disable  bool
+	}{
+		{"serial", []int{0, 0, 0, 0}, false},
+		{"k2-adaptive", []int{0, 1, 0, 1}, false},
+		{"k2-barriered", []int{0, 1, 0, 1}, true},
+		{"k4-adaptive", []int{0, 1, 2, 3}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := cancelPingPong(t, tc.domShard, tc.disable)
+			var ce *CanceledError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Run = %v, want *CanceledError", err)
+			}
+		})
+	}
+}

@@ -71,6 +71,12 @@ type Engine struct {
 	// protocol livelock into a diagnosable error instead of a hang.
 	progressLimit uint64
 	sinceProgress uint64
+
+	// cancel, when non-nil, is polled by StepChecked every cancelPollMask+1
+	// events: a tripped Canceler turns into a CanceledError at the next poll,
+	// so a dead client or an admin abort stops the run promptly without
+	// adding per-event cost to the uncancelled hot path.
+	cancel *Canceler
 }
 
 // NewEngine returns an empty engine at cycle 0.
@@ -290,6 +296,12 @@ func (e *NoProgressError) Error() string {
 		e.Now, e.Limit, e.Pending)
 }
 
+// SetCancel attaches a Canceler polled by StepChecked; nil detaches. The
+// caller may trip the Canceler from any goroutine (it is a single atomic
+// word) — the engine notices at the next poll boundary and fails the run
+// with a CanceledError.
+func (e *Engine) SetCancel(c *Canceler) { e.cancel = c }
+
 // SetProgressLimit arms the no-forward-progress watchdog: StepChecked fails
 // once limit events fire without an intervening Progress() call. 0 disarms.
 func (e *Engine) SetProgressLimit(limit uint64) {
@@ -301,11 +313,21 @@ func (e *Engine) SetProgressLimit(limit uint64) {
 // resetting the watchdog.
 func (e *Engine) Progress() { e.sinceProgress = 0 }
 
+// cancelPollMask sets the cancellation poll period: StepChecked consults
+// the Canceler once every mask+1 executed events. 256 events is a few
+// microseconds of simulation — prompt for any caller — while keeping the
+// atomic load off almost every step.
+const cancelPollMask = 255
+
 // StepChecked executes the next event like Step, but fails with a
-// NoProgressError when the watchdog limit is exceeded.
+// NoProgressError when the watchdog limit is exceeded or a CanceledError
+// when an attached Canceler has tripped.
 func (e *Engine) StepChecked() (bool, error) {
 	if e.progressLimit > 0 && e.sinceProgress >= e.progressLimit {
 		return false, &NoProgressError{Limit: e.progressLimit, Now: e.now, Pending: len(e.events)}
+	}
+	if e.cancel != nil && e.fired&cancelPollMask == 0 && e.cancel.Canceled() {
+		return false, &CanceledError{Now: e.now, Pending: len(e.events)}
 	}
 	if !e.Step() {
 		return false, nil

@@ -198,6 +198,16 @@ func (se *ShardedEngine) SetProgressLimit(limit uint64) {
 	}
 }
 
+// SetCancel attaches one Canceler to every shard engine. The first shard to
+// observe the trip fails its window with a CanceledError; the existing
+// error paths (fold in windowed mode, the stop flag in adaptive mode) then
+// bring the remaining shards down promptly.
+func (se *ShardedEngine) SetCancel(c *Canceler) {
+	for _, e := range se.engs {
+		e.SetCancel(c)
+	}
+}
+
 // SetDomainLookahead tightens the adaptive-mode output lookahead from
 // per-domain horizons: horizon[d] must lower-bound the latency of any
 // cross-domain event originating in domain d. Shard s's lookahead becomes

@@ -120,6 +120,12 @@ type Config struct {
 	// flag pins the synchronization mode for tests and benchmarks.
 	NoElision bool
 
+	// Cancel, if non-nil, lets another goroutine stop the run early; a
+	// canceled run fails with a sim.CanceledError instead of returning a
+	// partial result. Control plane only: a run that completes before the
+	// canceler trips is bit-identical to one with no canceler attached.
+	Cancel *sim.Canceler
+
 	// MaxSteps bounds the run's executed event count; RunChecked returns a
 	// sim.StepLimitError when exhausted (0 = unbounded).
 	MaxSteps uint64
@@ -245,6 +251,14 @@ func (c Config) shardable() bool {
 // parallel engine (see shardable). CLIs use it to resolve `-shards auto`:
 // a non-shardable config gains nothing from extra shard goroutines.
 func (c Config) Shardable() bool { return c.shardable() }
+
+// sansControl returns the config with control-plane fields cleared. Stats
+// snapshots this form, so two runs of the same simulation compare deeply
+// equal no matter how they were driven (with or without a Canceler).
+func (c Config) sansControl() Config {
+	c.Cancel = nil
+	return c
+}
 
 // faultEvents returns the plan's events (nil-safe).
 func (c Config) faultEvents() []fault.Event {

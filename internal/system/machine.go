@@ -173,7 +173,7 @@ func New(cfg Config) (*Machine, error) {
 		m.Eng = m.sharded.Eng(0)
 		for d := 0; d < nd; d++ {
 			m.doms = append(m.doms, &domain{
-				idx: int32(d), eng: m.sharded.Eng(domShard[d]), st: &Stats{cfg: cfg},
+				idx: int32(d), eng: m.sharded.Eng(domShard[d]), st: &Stats{cfg: cfg.sansControl()},
 			})
 		}
 	} else {
@@ -641,6 +641,7 @@ func (m *Machine) RunChecked() (*Stats, error) {
 		limit = 10_000_000
 	}
 	m.Eng.SetProgressLimit(limit)
+	m.Eng.SetCancel(cfg.Cancel)
 	d := m.doms[0]
 	d.live = len(m.vcpus)
 	if cfg.WarmupRefs > 0 {
@@ -672,6 +673,7 @@ func (m *Machine) runSharded() (*Stats, error) {
 		limit = 10_000_000
 	}
 	m.sharded.SetProgressLimit(limit)
+	m.sharded.SetCancel(cfg.Cancel)
 	m.sharded.MaxSteps = cfg.MaxSteps
 	for _, d := range m.doms {
 		d.live = d.nvcpus

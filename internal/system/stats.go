@@ -148,7 +148,7 @@ type snapshot struct {
 	cycle                                   uint64
 }
 
-func (s *Stats) init(cfg Config) { s.cfg = cfg }
+func (s *Stats) init(cfg Config) { s.cfg = cfg.sansControl() }
 
 // takeSnapshot freezes domain d's warmup-phase counters. It runs when the
 // last vCPU of the domain crosses WarmupRefs, and reads only state owned by

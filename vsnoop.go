@@ -27,7 +27,12 @@
 package vsnoop
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
 	"fmt"
+	"strconv"
 
 	"vsnoop/internal/core"
 	"vsnoop/internal/fault"
@@ -215,6 +220,63 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate reports whether the configuration is runnable, without running
+// it. It applies the same checks Run performs up front (workload names,
+// machine geometry, fault-plan bounds), so servers can reject a bad job
+// with a useful message before queueing it.
+func (cfg Config) Validate() error {
+	sc, err := toSystem(cfg)
+	if err != nil {
+		return err
+	}
+	return sc.Validate()
+}
+
+// Hash returns the canonical content hash of the configuration: the
+// lowercase hex SHA-256 of a versioned, field-ordered encoding. Two
+// configurations have equal hashes exactly when they specify the same
+// simulation, so the hash is a sound memoization key: determinism
+// guarantees equal hashes produce bit-identical Results.
+//
+// Shards and NoElision are deliberately excluded — they choose how many
+// goroutines execute the run and which synchronization protocol they use,
+// both proven bit-identical to serial execution — so a result computed at
+// any shard count serves requests at every other. Every semantic field
+// (workloads, policies, fault plan, seed, step bounds, checks) is included.
+// The encoding is versioned ("vsnoop-config-v1"); any future change to the
+// encoded fields must bump it so stale stores are never misread.
+func (cfg Config) Hash() string {
+	h := sha256.New()
+	w := func(format string, args ...interface{}) { fmt.Fprintf(h, format, args...) }
+	f64 := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	w("vsnoop-config-v1\n")
+	w("cores=%d\nvms=%d\nvcpusPerVM=%d\n", cfg.Cores, cfg.VMs, cfg.VCPUsPerVM)
+	w("workload=%q\n", cfg.Workload)
+	w("workloadPerVM.len=%d\n", len(cfg.WorkloadPerVM))
+	for i, name := range cfg.WorkloadPerVM {
+		w("workloadPerVM[%d]=%q\n", i, name)
+	}
+	w("policy=%d\ncontent=%d\nthreshold=%d\n", cfg.Policy, cfg.Content, cfg.Threshold)
+	w("refsPerVCPU=%d\nwarmupRefs=%d\n", cfg.RefsPerVCPU, cfg.WarmupRefs)
+	w("migrationPeriodMs=%s\ncyclesPerMs=%d\n", f64(cfg.MigrationPeriodMs), cfg.CyclesPerMs)
+	w("contentSharing=%t\nhypervisor=%t\n", cfg.ContentSharing, cfg.Hypervisor)
+	w("checks=%t\nmaxSteps=%d\nseed=%d\n", cfg.Checks, cfg.MaxSteps, cfg.Seed)
+	if p := cfg.Fault; p != nil {
+		w("fault.seed=%d\n", p.Seed)
+		w("fault.dropPct=%s\nfault.dupPct=%s\nfault.delayPct=%s\n",
+			f64(p.DropPct), f64(p.DupPct), f64(p.DelayPct))
+		w("fault.delayMax=%d\n", p.DelayMax)
+		w("fault.degradedLinks=%d\nfault.linkDegradeFactor=%d\n",
+			p.DegradedLinks, p.LinkDegradeFactor)
+		w("fault.events.len=%d\n", len(p.Events))
+		for i, ev := range p.Events {
+			w("fault.events[%d]=%d,%d,%d,%d,%d\n",
+				i, ev.AtCycle, ev.Kind, ev.VM, ev.Core, ev.Count)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
 // Result carries the headline metrics of a run. All counters cover the
 // post-warmup measured phase.
 type Result struct {
@@ -304,6 +366,53 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runSystem(sc)
+}
+
+// RunCtx executes one simulation under a context: when ctx is canceled or
+// its deadline passes, the run — serial or shard-parallel — stops promptly
+// and RunCtx returns an error wrapping ctx.Err(). Cancellation is a
+// control-plane mechanism: a run that completes before the context fires
+// returns a Result bit-identical to Run's, and a canceled run returns no
+// partial result. This is the entry point for servers and CLIs that need
+// deadlines (vsnoop-serve, -timeout flags).
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx.Done() == nil {
+		return Run(cfg) // context.Background(): nothing to watch
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("vsnoop: run not started: %w", err)
+	}
+	sc, err := toSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	c := sim.NewCanceler()
+	sc.Cancel = c
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.Cancel()
+		case <-stop:
+		}
+	}()
+	res, err := runSystem(sc)
+	var ce *sim.CanceledError
+	if errors.As(err, &ce) {
+		// Prefer the context's own error (Canceled vs DeadlineExceeded) so
+		// callers can errors.Is against it; keep the engine position too.
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("vsnoop: %w (%v)", cerr, ce)
+		}
+	}
+	return res, err
+}
+
+// runSystem executes a validated internal configuration and packages the
+// public Result.
+func runSystem(sc system.Config) (*Result, error) {
 	m, err := system.New(sc)
 	if err != nil {
 		return nil, err

@@ -13,7 +13,7 @@ import (
 // process, machine, and Go version must encode the default config to
 // exactly these bytes. If a Config change legitimately alters the
 // encoding, bump the version string in Hash and re-pin.
-const defaultHash = "29f448ad949a637cd8cb154ffa8ae43374e65e58f18979016c49728047010ba2"
+const defaultHash = "f0c9e95b478c6a502ddcabbb7034088134a55f3f6dbcfe23c3a0685b8c41285b"
 
 func TestHashDefaultPinned(t *testing.T) {
 	if h := DefaultConfig().Hash(); h != defaultHash {

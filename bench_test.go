@@ -233,3 +233,51 @@ func benchmarkSingleRun(b *testing.B, shards int, noElision bool) {
 		}
 	}
 }
+
+// Migration and content-sharing runs were serial-only before the graph-cut
+// partitioner: migration moved vCPU ownership between quadrants and content
+// sharing created cross-VM page aliases, both of which the old four-quadrant
+// invariant disqualified. They now shard through cross-domain ownership
+// transfer and domain-owned COW overlays, so each class gets its own scaling
+// curve. The serial baseline is ForceSerial — the legacy single-queue engine
+// that used to be these configs' only execution mode — while Shards=1 runs
+// the partitioned engine single-shard, so the Serial/Shards1 gap prices the
+// transfer pipeline itself and Shards1/Shards4 prices the parallelism. CI
+// regenerates BENCH_7.json from these and gates K=4 speedup and K=1
+// overhead against the committed numbers.
+func BenchmarkMigrationRunSerial(b *testing.B)  { benchmarkMigrationRun(b, 0, true) }
+func BenchmarkMigrationRunShards1(b *testing.B) { benchmarkMigrationRun(b, 1, false) }
+func BenchmarkMigrationRunShards4(b *testing.B) { benchmarkMigrationRun(b, 4, false) }
+
+func benchmarkMigrationRun(b *testing.B, shards int, forceSerial bool) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.RefsPerVCPU = 2000
+		cfg.WarmupRefs = 0
+		cfg.MigrationPeriodMs = 2.5
+		cfg.Shards = shards
+		cfg.ForceSerial = forceSerial
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkContentRunSerial(b *testing.B)  { benchmarkContentRun(b, 0, true) }
+func BenchmarkContentRunShards4(b *testing.B) { benchmarkContentRun(b, 4, false) }
+
+func benchmarkContentRun(b *testing.B, shards int, forceSerial bool) {
+	for i := 0; i < b.N; i++ {
+		cfg := DefaultConfig()
+		cfg.RefsPerVCPU = 2000
+		cfg.WarmupRefs = 0
+		cfg.ContentSharing = true
+		cfg.Content = ContentFriendVM
+		cfg.Policy = PolicyCounter
+		cfg.Shards = shards
+		cfg.ForceSerial = forceSerial
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

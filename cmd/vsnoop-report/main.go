@@ -25,22 +25,16 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "run scale: quick or full")
 	expFlag := flag.String("exp", "all", "experiment to run (comma-separated): all, fig1, fig2, fig3, table1, table4, fig6, fig78, fig9, table5, fig10, table6, ablations, energy, comparison")
 	maxSteps := flag.Uint64("max-steps", 0, "abort any single run after this many simulation events (0 = unbounded)")
-	shardsFlag := flag.String("shards", "0", `parallel event-queue shards per run: a count, or "auto" for min(4, GOMAXPROCS) on shardable runs (0 or 1 = serial; results are bit-identical)`)
+	shardsFlag := flag.String("shards", "0", `parallel event-queue shards per run: a count, or "auto" for min(planned snoop domains, GOMAXPROCS) (0 or 1 = serial; results are bit-identical)`)
 	flag.Parse()
 	exp.MaxSteps = *maxSteps
 	switch *shardsFlag {
 	case "auto":
-		// Shardability is per-experiment (migration and content-sharing
-		// runs stay serial regardless); the per-run clamp in exp handles
-		// that, so "auto" just supplies the machine-wide ceiling.
-		k := 4
-		if maxProcs < k {
-			k = maxProcs
-		}
-		if k < 1 {
-			k = 1
-		}
-		exp.Shards = k
+		// Every experiment runs the paper's 4x4 mesh, so the default
+		// config's planner answer is the right machine-wide ceiling; each
+		// individual run still clamps to its own planned domain count
+		// inside the engine.
+		exp.Shards = vsnoop.AutoShards(vsnoop.DefaultConfig(), maxProcs)
 	default:
 		k, err := strconv.Atoi(*shardsFlag)
 		if err != nil || k < 0 {
@@ -131,7 +125,7 @@ func main() {
 	fmt.Fprintf(w, "\ncompleted in %s — %d events (%.0f events/sec)\n",
 		wall.Round(time.Millisecond), ev, float64(ev)/wall.Seconds())
 	if windows, elided, _, widthSum := vsnoop.TotalSyncCounters(); windows > 0 {
-		fmt.Fprintf(w, "sync: %d windows, %d barriers elided, mean window %.0f cycles\n",
-			windows, elided, float64(widthSum)/float64(windows))
+		fmt.Fprintf(w, "sync: %d windows, %d barriers elided, mean window %.0f cycles (shards=%d)\n",
+			windows, elided, float64(widthSum)/float64(windows), exp.Shards)
 	}
 }

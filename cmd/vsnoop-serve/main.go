@@ -56,8 +56,12 @@ func main() {
 	}
 	resolvedShards := *shards
 	if resolvedShards < 0 {
-		// Auto: shardable configs get min(4, GOMAXPROCS) shards. The store
-		// hash ignores shard count, so this never affects results.
+		// Auto: the partition planner resolves the shard count —
+		// min(planned snoop domains, GOMAXPROCS) for the default geometry;
+		// each run additionally clamps to its own planned domain count.
+		// The store hash ignores shard count, so this never affects
+		// results. The resolved value is exported as the vsnoop_shards
+		// gauge on /metrics.
 		resolvedShards = vsnoop.AutoShards(vsnoop.DefaultConfig(), maxProcs)
 	}
 

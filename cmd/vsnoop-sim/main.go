@@ -42,7 +42,8 @@ func main() {
 	list := flag.Bool("list", false, "list workloads and exit")
 	check := flag.Bool("check", false, "enable online coherence invariant checking")
 	timeout := flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none); a timed-out run exits nonzero")
-	shardsFlag := flag.String("shards", "0", `parallel event-queue shards: a count, or "auto" for min(4, GOMAXPROCS) on shardable configs (0 or 1 = serial; results are bit-identical)`)
+	shardsFlag := flag.String("shards", "0", `parallel event-queue shards: a count, or "auto" for min(planned snoop domains, GOMAXPROCS) (0 or 1 = serial; results are bit-identical)`)
+	dumpPartition := flag.Bool("dump-partition", false, "print the planner's snoop-domain cut (domain grid, cut edges, horizons) and exit")
 	noElision := flag.Bool("no-elision", false, "force fully-barriered window synchronization (disable adaptive free-running and barrier elision)")
 	maxSteps := flag.Uint64("max-steps", 0, "abort after this many simulation events (0 = unbounded)")
 	faultSeed := flag.Uint64("fault-seed", 0, "fault plan seed (mixed with -seed)")
@@ -146,10 +147,20 @@ func main() {
 	if faultActive {
 		cfg.Fault = plan
 	}
-	// Resolved after the whole config is built ("auto" depends on
-	// shardability); maxProcs was read once at program entry so the
-	// simulation packages stay free of machine-environment reads.
+	// Resolved after the whole config is built ("auto" asks the partition
+	// planner); maxProcs was read once at program entry so the simulation
+	// packages stay free of machine-environment reads.
 	cfg.Shards = resolveShards(*shardsFlag, cfg, maxProcs)
+
+	if *dumpPartition {
+		info, err := vsnoop.PartitionInfo(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Print(info)
+		return
+	}
 
 	if err := profiles.Start(); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -202,13 +213,16 @@ func main() {
 		res.EventsFired, wall.Round(time.Millisecond),
 		float64(res.EventsFired)/wall.Seconds(), cfg.Shards)
 	if sy := st.Sync; sy.Windows > 0 {
-		fmt.Printf("sync: %d windows, %d barriers elided, mean window %.0f cycles\n",
-			sy.Windows, sy.ElidedBarriers, sy.MeanWindowWidth())
+		fmt.Printf("sync: %d windows, %d barriers elided, mean window %.0f cycles (domains=%d, shards=%d)\n",
+			sy.Windows, sy.ElidedBarriers, sy.MeanWindowWidth(),
+			vsnoop.PlannedDomains(cfg), cfg.Shards)
 	}
 }
 
 // resolveShards parses the -shards flag: "auto" resolves against the fully
-// built configuration, anything else must be a non-negative integer.
+// built configuration through the partition planner (min of the planned
+// snoop-domain count and GOMAXPROCS), anything else must be a non-negative
+// integer.
 func resolveShards(s string, cfg vsnoop.Config, maxProcs int) int {
 	if s == "auto" {
 		return vsnoop.AutoShards(cfg, maxProcs)

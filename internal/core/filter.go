@@ -131,6 +131,13 @@ type Filter struct {
 	// PolicyCounterFlush.
 	OnFlushVM func(core int, vm mem.VMID)
 
+	// OnMapRemove, if set, observes every map-bit removal this replica
+	// performs on its own authority (counter policies, departures). The
+	// partitioned machine uses it to broadcast the removal to the other
+	// domains' replicas as an ordered cross-shard delta. Delta application
+	// (ApplyMapClear) never fires it, so replication cannot loop.
+	OnMapRemove func(vm mem.VMID, core int)
+
 	// Flushes counts selective-flush events.
 	Flushes uint64
 
@@ -182,7 +189,20 @@ const suspectWindow sim.Cycle = 50_000
 // NewFilter builds a filter over the given cores. caches may be nil when
 // the counter policies are unused (e.g. the broadcast baseline).
 func NewFilter(eng *sim.Engine, cfg Config, coreNodes []mesh.NodeID, caches []*cache.Cache) *Filter {
+	return NewFilterScoped(eng, cfg, coreNodes, caches, nil)
+}
+
+// NewFilterScoped builds a filter replica that hooks residence-counter
+// callbacks only for the cores listed in owned (nil = all). The partitioned
+// machine builds one replica per snoop domain over that domain's cores, so
+// each cache reports residence triggers to exactly one replica — the one
+// whose domain executes that cache's events — while the full register file
+// is replicated everywhere and kept coherent by cross-shard deltas.
+func NewFilterScoped(eng *sim.Engine, cfg Config, coreNodes []mesh.NodeID, caches []*cache.Cache, owned []int) *Filter {
 	if cfg.Policy == PolicyCounterThreshold && cfg.Threshold <= 0 {
+		cfg.Threshold = 10
+	}
+	if cfg.Policy == PolicyCounterFlush && cfg.Threshold <= 0 {
 		cfg.Threshold = 10
 	}
 	f := &Filter{
@@ -203,37 +223,33 @@ func NewFilter(eng *sim.Engine, cfg Config, coreNodes []mesh.NodeID, caches []*c
 		}
 		f.allBut[i] = s
 	}
-	// Wire residence-counter callbacks.
-	switch cfg.Policy {
-	case PolicyCounter:
-		for i, c := range caches {
-			if c == nil {
-				continue
-			}
-			i := i
-			c.OnResidenceZero = func(vm mem.VMID) { f.tryRemove(vm, i, 0) }
+	// Wire residence-counter callbacks for the owned cores.
+	hook := func(i int) {
+		c := caches[i]
+		if c == nil {
+			return
 		}
-	case PolicyCounterThreshold:
-		for i, c := range caches {
-			if c == nil {
-				continue
-			}
-			i := i
+		switch cfg.Policy {
+		case PolicyCounter:
+			c.OnResidenceZero = func(vm mem.VMID) { f.tryRemove(vm, i, 0) }
+		case PolicyCounterThreshold:
 			c.Threshold = cfg.Threshold
 			c.OnResidenceBelow = func(vm mem.VMID, n int) { f.tryRemove(vm, i, n) }
-		}
-	case PolicyCounterFlush:
-		if cfg.Threshold <= 0 {
-			cfg.Threshold = 10
-			f.cfg.Threshold = 10
-		}
-		for i, c := range caches {
-			if c == nil {
-				continue
-			}
-			i := i
+		case PolicyCounterFlush:
 			c.Threshold = cfg.Threshold
 			c.OnResidenceBelow = func(vm mem.VMID, n int) { f.tryFlush(vm, i, n) }
+		}
+	}
+	switch cfg.Policy {
+	case PolicyCounter, PolicyCounterThreshold, PolicyCounterFlush:
+		if owned != nil {
+			for _, i := range owned {
+				hook(i)
+			}
+		} else {
+			for i := range caches {
+				hook(i)
+			}
 		}
 	}
 	return f
@@ -383,9 +399,14 @@ func (f *Filter) HandleRelocate(vm mem.VMID, from, to int) {
 	if from < 0 || testBit(run, from) {
 		return
 	}
-	// The VM no longer runs on `from`. Under the counter policies, check
-	// whether its data is already gone; otherwise record the departure so
-	// the eventual removal latency feeds Figure 9.
+	f.departCheck(vm, d, from)
+}
+
+// departCheck handles a vCPU departure from core `from` once the run bit is
+// clear: under the counter policies, remove the core if its data is already
+// gone, otherwise record the pending departure feeding the Figure 9 CDF.
+//vsnoop:hotpath
+func (f *Filter) departCheck(vm mem.VMID, d, from int) {
 	switch f.cfg.Policy {
 	case PolicyCounter, PolicyCounterThreshold, PolicyCounterFlush:
 		n := 0
@@ -407,6 +428,67 @@ func (f *Filter) HandleRelocate(vm mem.VMID, from, to int) {
 		setBit(f.pendBits[d*f.nw:(d+1)*f.nw], from)
 		f.pendAt[d*len(f.coreNodes)+from] = f.eng.Now()
 	}
+}
+
+// RelocateDepart is the source-domain half of a cross-shard vCPU move: the
+// vCPU left core `from`, so clear the run bit and run the counter-policy
+// departure check against this domain's caches (which own core `from`). The
+// destination side happens later, in the target domain, via RelocateArrive.
+//vsnoop:hotpath
+func (f *Filter) RelocateDepart(vm mem.VMID, from int) {
+	d := f.ensure(vm)
+	clearBit(f.runBits[d*f.nw:(d+1)*f.nw], from)
+	f.departCheck(vm, d, from)
+}
+
+// RelocateArrive is the destination-domain half of a cross-shard vCPU move:
+// the vCPU now runs on core `to`, which the hypervisor adds to the VM's map
+// before the VM runs there. MapSyncs is counted here — once per move, on
+// the owning domain — never on delta application.
+//vsnoop:hotpath
+func (f *Filter) RelocateArrive(vm mem.VMID, to int) {
+	d := f.ensure(vm)
+	setBit(f.runBits[d*f.nw:(d+1)*f.nw], to)
+	m := f.mapBits[d*f.nw : (d+1)*f.nw]
+	if !testBit(m, to) {
+		setBit(m, to)
+		f.MapSyncs++
+	}
+}
+
+// The Apply* methods replay another replica's register update on this one.
+// They mutate only the replicated architectural state (run/map/pend bits),
+// never the statistics or the departure CDF: every event is counted exactly
+// once, on the domain that owns it.
+
+// ApplyRunSet replays a remote run-bit set.
+//vsnoop:hotpath
+func (f *Filter) ApplyRunSet(vm mem.VMID, core int) {
+	d := f.ensure(vm)
+	setBit(f.runBits[d*f.nw:(d+1)*f.nw], core)
+}
+
+// ApplyRunClear replays a remote run-bit clear.
+//vsnoop:hotpath
+func (f *Filter) ApplyRunClear(vm mem.VMID, core int) {
+	d := f.ensure(vm)
+	clearBit(f.runBits[d*f.nw:(d+1)*f.nw], core)
+}
+
+// ApplyMapSet replays a remote map addition.
+//vsnoop:hotpath
+func (f *Filter) ApplyMapSet(vm mem.VMID, core int) {
+	d := f.ensure(vm)
+	setBit(f.mapBits[d*f.nw:(d+1)*f.nw], core)
+}
+
+// ApplyMapClear replays a remote map removal, discarding any pending
+// departure record for the core (the owning replica observed the CDF).
+//vsnoop:hotpath
+func (f *Filter) ApplyMapClear(vm mem.VMID, core int) {
+	d := f.ensure(vm)
+	clearBit(f.mapBits[d*f.nw:(d+1)*f.nw], core)
+	clearBit(f.pendBits[d*f.nw:(d+1)*f.nw], core)
 }
 
 // tryRemove handles a residence-counter trigger at core for vm.
@@ -449,6 +531,9 @@ func (f *Filter) remove(vm mem.VMID, core int) {
 	if testBit(pend, core) {
 		f.RemovalPeriods.Observe(float64(f.eng.Now() - f.pendAt[d*len(f.coreNodes)+core]))
 		clearBit(pend, core)
+	}
+	if f.OnMapRemove != nil {
+		f.OnMapRemove(vm, core)
 	}
 }
 

@@ -103,6 +103,14 @@ func TestShardSafeFixture(t *testing.T) { checkFixture(t, "shardsafe") }
 // the allowlisted internal/sim structs pass, everything else is flagged.
 func TestShardAtomicFixture(t *testing.T) { checkFixture(t, "shardatomic") }
 
+// TestPartTransferFixture covers the cross-domain ownership-transfer
+// patterns from the graph-cut partitioner: prebound depart/arrive/ack
+// handlers rooted purely by their sim.HandlerFn shape (no scheduler call in
+// view), the deposit-only discipline they must follow, and the shortcuts —
+// goroutine hand-off, package-level counters, ack channels, overlay map
+// iteration — the suite must catch in that code.
+func TestPartTransferFixture(t *testing.T) { checkFixture(t, "parttransfer") }
+
 // TestServeScopeFixture covers the deterministic-only package class, the
 // scoping the real module applies to internal/serve: goroutines, channels,
 // mutexes, atomics on arbitrary structs, and package-level state draw no

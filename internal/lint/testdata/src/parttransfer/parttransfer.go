@@ -1,0 +1,89 @@
+// Package parttransfer is a lint fixture: the cross-domain ownership
+// transfer patterns introduced by the graph-cut partitioner — prebound
+// depart/arrive/ack handlers, package-level delta appliers, domain-local
+// overlay state — and the shortcuts such code must not take. Handlers here
+// are never passed to a scheduler call; they are rooted purely by their
+// shape (func(interface{}, uint64) ~ sim.HandlerFn) at the prebind
+// assignments, which is how the real machine wires its transfer pipeline.
+package parttransfer
+
+// handlerFn mirrors sim.HandlerFn.
+type handlerFn func(p interface{}, u uint64)
+
+// engine mimics the sharded engine's cross-domain deposit API: the only
+// legal way for transfer code to touch another domain.
+type engine struct{ now uint64 }
+
+func (e *engine) ScheduleFnAtDom(at uint64, dom int, fn handlerFn, p interface{}, u uint64) {}
+
+type domain struct {
+	idx  int
+	live int
+	cow  map[uint64]uint64
+}
+
+type vcpu struct {
+	dom  *domain
+	core int
+}
+
+type machine struct {
+	eng      *engine
+	crossHor []uint64
+	departFn handlerFn
+	arriveFn handlerFn
+	ackFn    handlerFn
+}
+
+var relocations int // package-level: transfer handlers must not touch it
+
+// prebind mirrors machine construction: method values of handler shape are
+// roots the moment they are assigned, with no scheduler call in sight.
+func (m *machine) prebind() {
+	m.departFn = m.handleDepart
+	m.arriveFn = m.handleArrive
+	m.ackFn = m.handleAck
+}
+
+// handleDepart is the good citizen: instance state plus a lookahead-delayed
+// re-deposit into the destination domain, nothing else. No findings.
+func (m *machine) handleDepart(p interface{}, u uint64) {
+	v := p.(*vcpu)
+	v.dom.live--
+	m.eng.ScheduleFnAtDom(m.eng.now+m.crossHor[v.dom.idx], int(u), m.arriveFn, v, u)
+}
+
+// handleArrive takes the tempting shortcut of pushing the overlay rebuild
+// off the shard goroutine.
+func (m *machine) handleArrive(p interface{}, u uint64) {
+	v := p.(*vcpu)
+	v.core = int(u)
+	go rebuildOverlay(v.dom) // want "launches a goroutine"
+}
+
+// handleAck counts the finished move in the obvious — and wrong — place.
+func (m *machine) handleAck(p interface{}, u uint64) {
+	relocations++ // want "writes package-level variable relocations"
+}
+
+// rebuildOverlay is reachable from a handler, and the fixture package is
+// sim-critical, so the map iteration is flagged by maprange even though the
+// rewrite happens to be idempotent.
+func rebuildOverlay(d *domain) {
+	for gp, pr := range d.cow { // want "iteration over map d.cow"
+		d.cow[gp] = pr
+	}
+}
+
+// wire shows a handler literal of the right shape being rooted at its use
+// site: the ack-wait inside is the cross-shard sin the deposit API exists
+// to replace.
+func (m *machine) wire(done chan struct{}) {
+	m.prebind()
+	var drain handlerFn = func(p interface{}, u uint64) {
+		<-done // want "receives from a channel"
+	}
+	_ = drain
+}
+
+var _ = (*machine).wire

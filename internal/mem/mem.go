@@ -253,6 +253,36 @@ func (m *Manager) PreallocateAll() {
 	}
 }
 
+// CowKey packs a (vm, guest page) pair into the key of the preallocated
+// copy-on-write target index (PrepareCowTargets).
+func CowKey(vm VMID, gp GuestPage) uint64 { return uint64(vm)<<32 | uint64(gp) }
+
+// PrepareCowTargets preallocates one private host page per RO-shared
+// (vm, guest page) mapping, in (VM id, guest page) order, and returns the
+// target index keyed by CowKey. The partitioned engine calls this at setup,
+// after MergeIdentical: copy-on-write traps then remap through per-domain
+// overlay tables onto these fixed targets instead of mutating the shared
+// manager at run time, so host-page numbering never depends on the order
+// concurrent domains take their COW faults.
+func (m *Manager) PrepareCowTargets() map[uint64]HostPage {
+	targets := make(map[uint64]HostPage)
+	vms := make([]VMID, 0, len(m.spaces))
+	for vm := range m.spaces { //lint:ordered key harvest only; vms is sorted before any allocation happens
+		vms = append(vms, vm)
+	}
+	sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
+	for _, vm := range vms {
+		s := m.spaces[vm]
+		for gp := range s.table {
+			e := &s.table[gp]
+			if e.valid && e.typ == PageROShared {
+				targets[CowKey(vm, GuestPage(gp))] = m.allocHost(PagePrivate)
+			}
+		}
+	}
+	return targets
+}
+
 // SetContent declares the content of a guest page, touching it first if
 // needed. It is used by workload setup to mark pages whose contents are
 // identical across VMs (e.g. guest kernel text, shared libraries).

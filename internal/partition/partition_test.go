@@ -1,0 +1,222 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+)
+
+// quadrantInput models the default machine: 4x4 mesh, 4 VMs of 4 vCPUs
+// placed in 2x2 quadrant blocks, MCs at the four corners.
+func quadrantInput() Input {
+	group := make([]int, 16)
+	for i := range group {
+		x, y := i%4, i/4
+		group[i] = (x / 2) + 2*(y/2)
+	}
+	return Input{
+		Width: 4, Height: 4,
+		CoreGroup: group,
+		MCCorner:  [][2]int{{0, 0}, {3, 0}, {0, 3}, {3, 3}},
+	}
+}
+
+// TestQuadrantExact pins byte-compatibility with the legacy four-quadrant
+// partition: the planner must reproduce it exactly for the default config.
+func TestQuadrantExact(t *testing.T) {
+	p := Compute(quadrantInput())
+	if p.Domains != 4 || p.GX != 2 || p.GY != 2 {
+		t.Fatalf("want 2x2 grid with 4 domains, got %dx%d (%d domains)", p.GX, p.GY, p.Domains)
+	}
+	if !reflect.DeepEqual(p.XSplit, []int{2}) || !reflect.DeepEqual(p.YSplit, []int{2}) {
+		t.Fatalf("want splits [2]/[2], got %v/%v", p.XSplit, p.YSplit)
+	}
+	for i := 0; i < 16; i++ {
+		x, y := i%4, i/4
+		want := int32((x / 2) + 2*(y/2))
+		if p.CoreDom[i] != want {
+			t.Fatalf("core %d: want domain %d, got %d", i, want, p.CoreDom[i])
+		}
+	}
+	if !reflect.DeepEqual(p.MCDom, []int32{0, 1, 2, 3}) {
+		t.Fatalf("want MC domains [0 1 2 3], got %v", p.MCDom)
+	}
+	if p.SpansVM {
+		t.Fatalf("quadrant placement must not span VMs across domains")
+	}
+}
+
+// TestLinearRowStrips pins the linear-placement case: 4 VMs laid out
+// sequentially on a 4x4 mesh occupy whole rows, so the planner should cut
+// the mesh into four row strips.
+func TestLinearRowStrips(t *testing.T) {
+	group := make([]int, 16)
+	for i := range group {
+		group[i] = i / 4
+	}
+	p := Compute(Input{
+		Width: 4, Height: 4,
+		CoreGroup: group,
+		MCCorner:  [][2]int{{0, 0}, {3, 0}, {0, 3}, {3, 3}},
+	})
+	if p.SpansVM {
+		t.Fatalf("row strips must not split a VM: %+v", p)
+	}
+	if p.Domains < 4 {
+		t.Fatalf("want at least 4 domains for 4 row-placed VMs, got %d (grid %dx%d)", p.Domains, p.GX, p.GY)
+	}
+	// Every VM's cores must share one domain, and distinct VMs must not all
+	// collapse into one domain.
+	vmDom := map[int]int32{}
+	for i, g := range group {
+		if d, ok := vmDom[g]; ok && d != p.CoreDom[i] {
+			t.Fatalf("VM %d split across domains %d and %d", g, d, p.CoreDom[i])
+		}
+		vmDom[g] = p.CoreDom[i]
+	}
+	seen := map[int32]bool{}
+	for _, d := range vmDom {
+		seen[d] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("want each row VM in its own domain, got %v", vmDom)
+	}
+}
+
+// TestLargeMesh checks an 8x8 mesh with 16 sequentially placed VMs
+// partitions into many whole-VM domains.
+func TestLargeMesh(t *testing.T) {
+	group := make([]int, 64)
+	for i := range group {
+		group[i] = i / 4 // 16 VMs, 4 consecutive cores each
+	}
+	p := Compute(Input{
+		Width: 8, Height: 8,
+		CoreGroup: group,
+		MCCorner:  [][2]int{{0, 0}, {7, 0}, {0, 7}, {7, 7}},
+	})
+	if p.Domains < 4 {
+		t.Fatalf("8x8/16-VM mesh should shard at least 4 ways, got %d", p.Domains)
+	}
+	if p.SpansVM {
+		t.Fatalf("sequential 8x8 placement has whole-VM tilings; planner split a VM: %+v", p)
+	}
+	checkCover(t, p, 8, 8)
+}
+
+// TestIdleCores checks a partially loaded mesh still partitions and that
+// domain indexing covers every node.
+func TestIdleCores(t *testing.T) {
+	group := make([]int, 16)
+	for i := range group {
+		group[i] = -1
+	}
+	for i := 0; i < 4; i++ {
+		group[i] = 0 // one VM on row 0
+	}
+	p := Compute(Input{
+		Width: 4, Height: 4,
+		CoreGroup: group,
+		MCCorner:  [][2]int{{0, 0}, {3, 0}, {0, 3}, {3, 3}},
+	})
+	if p.Domains < 2 {
+		t.Fatalf("idle-heavy mesh should still shard, got %d domains", p.Domains)
+	}
+	checkCover(t, p, 4, 4)
+}
+
+// TestFriendAffinity checks content-sharing friendship is priced into the
+// cut: friend edges raise the cut weight, and when friendship dominates the
+// serialization term the planner keeps friend pairs together.
+func TestFriendAffinity(t *testing.T) {
+	base := Compute(quadrantInput())
+
+	in := quadrantInput()
+	in.Friends = map[int]int{0: 1, 1: 0, 2: 3, 3: 2}
+	p := Compute(in)
+	if p.GX == base.GX && p.GY == base.GY && p.CutWeight <= base.CutWeight {
+		t.Fatalf("friend edges not priced into cut: weight %d vs base %d", p.CutWeight, base.CutWeight)
+	}
+
+	// With friendship outweighing parallelism, friend pairs (sharing the
+	// top/bottom halves) must co-reside: only horizontal cuts remain viable.
+	in.Weights = Weights{SameVM: 64, FriendVM: 200, Base: 1, Serial: 48}
+	p = Compute(in)
+	if p.Domains < 2 {
+		t.Fatalf("want at least 2 domains, got %d", p.Domains)
+	}
+	for _, pair := range [][2]int{{0, 1}, {2, 3}} {
+		a, b := pair[0], pair[1]
+		if domOfGroup(p, in, a) != domOfGroup(p, in, b) {
+			t.Fatalf("friend VMs %d,%d split across domains:\n%s", a, b, p.String())
+		}
+	}
+}
+
+// TestDeterminism pins that Compute is a pure function of its input.
+func TestDeterminism(t *testing.T) {
+	a := Compute(quadrantInput())
+	b := Compute(quadrantInput())
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Compute not deterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestDegenerate covers empty and single-node meshes.
+func TestDegenerate(t *testing.T) {
+	if p := Compute(Input{}); p.Domains != 1 {
+		t.Fatalf("empty input: want 1 domain, got %d", p.Domains)
+	}
+	p := Compute(Input{Width: 1, Height: 1, CoreGroup: []int{0}})
+	if p.Domains != 1 {
+		t.Fatalf("1x1 mesh: want 1 domain, got %d", p.Domains)
+	}
+}
+
+// TestMaxDomains caps the grid size.
+func TestMaxDomains(t *testing.T) {
+	in := quadrantInput()
+	in.MaxDomains = 2
+	p := Compute(in)
+	if p.Domains > 2 {
+		t.Fatalf("MaxDomains=2 violated: got %d domains", p.Domains)
+	}
+}
+
+// TestString smoke-tests the debug dump used by -dump-partition.
+func TestString(t *testing.T) {
+	p := Compute(quadrantInput())
+	s := p.String()
+	if s == "" {
+		t.Fatal("empty dump")
+	}
+}
+
+// checkCover verifies every mesh node has a domain in [0, Domains) and
+// every domain is non-empty.
+func checkCover(t *testing.T, p Plan, w, h int) {
+	t.Helper()
+	if len(p.CoreDom) != w*h {
+		t.Fatalf("CoreDom covers %d nodes, want %d", len(p.CoreDom), w*h)
+	}
+	used := make([]bool, p.Domains)
+	for i, d := range p.CoreDom {
+		if d < 0 || int(d) >= p.Domains {
+			t.Fatalf("node %d assigned out-of-range domain %d", i, d)
+		}
+		used[d] = true
+	}
+	for d, u := range used {
+		if !u {
+			t.Fatalf("domain %d empty", d)
+		}
+	}
+}
+
+func domOfGroup(p Plan, in Input, g int) int32 {
+	for i, cg := range in.CoreGroup {
+		if cg == g {
+			return p.CoreDom[i]
+		}
+	}
+	return -1
+}

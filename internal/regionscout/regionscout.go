@@ -23,6 +23,7 @@ import (
 	"vsnoop/internal/cache"
 	"vsnoop/internal/mem"
 	"vsnoop/internal/mesh"
+	"vsnoop/internal/sim"
 	"vsnoop/internal/token"
 )
 
@@ -79,7 +80,7 @@ func (t *nsrt) insert(r Region) {
 	}
 	var oldest Region
 	var oldestTick uint64 = ^uint64(0)
-	for reg, tk := range t.items {
+	for reg, tk := range t.items { //lint:ordered ticks are a per-table monotonic counter, so every entry's tick is unique and the minimum is unique — the evicted region is the same whatever the visit order
 		if tk < oldestTick {
 			oldest, oldestTick = reg, tk
 		}
@@ -97,6 +98,14 @@ func (t *nsrt) remove(r Region) bool {
 
 // Filter is the RegionScout router. It maintains exact per-core region
 // presence counts via the cache insert/drop hooks.
+//
+// In partitioned runs (Partition) every core's NSRT and presence map is
+// owned by that core's snoop domain: local-domain presence checks and
+// knockouts stay synchronous, while remote domains are consulted through
+// probe events carrying the same cross-shard lookahead discipline as the
+// mesh. The NSRT insert is deferred until every probe replies — a stale
+// not-shared belief is safe because a memory-direct miss that finds the
+// tokens elsewhere simply retries attempt 2 as a broadcast.
 type Filter struct {
 	cfg       Config
 	shift     uint
@@ -105,6 +114,33 @@ type Filter struct {
 	tables    []*nsrt
 
 	Stats Stats
+
+	// Partitioned mode (nil/empty outside it).
+	coreDom  []int32
+	domCores [][]int
+	domEng   []*sim.Engine
+	crossHor []sim.Cycle
+	stats    []paddedStats // per-domain counters (single-writer)
+	pools    [][]*probe    // per-source-domain probe freelists
+	probeFn  sim.HandlerFn
+	replyFn  sim.HandlerFn
+}
+
+// paddedStats keeps each domain's counters on their own cache line.
+type paddedStats struct {
+	Stats
+	_ [4]uint64
+}
+
+// probe is one in-flight cross-domain region scan. The immutable fields
+// (region, me, srcDom) are written before the probe is sent and only read
+// by remote handlers; remaining/shared are owned by the source domain.
+type probe struct {
+	region    Region
+	me        int
+	srcDom    int32
+	remaining int
+	shared    bool
 }
 
 // New builds the filter over the given cores and wires presence tracking
@@ -178,8 +214,140 @@ func (f *Filter) NSRTContains(i int, r Region) bool {
 	return ok
 }
 
+// Partition switches the filter to domain-owned state: coreDom maps each
+// core to its snoop domain, domCores lists each domain's cores, domEng and
+// crossHor give each domain's engine and cross-shard horizon. Call at setup,
+// before any routing happens.
+func (f *Filter) Partition(coreDom []int32, domCores [][]int, domEng []*sim.Engine, crossHor []sim.Cycle) {
+	f.coreDom = coreDom
+	f.domCores = domCores
+	f.domEng = domEng
+	f.crossHor = crossHor
+	f.stats = make([]paddedStats, len(domCores))
+	f.pools = make([][]*probe, len(domCores))
+	f.probeFn = f.handleProbe
+	f.replyFn = f.handleReply
+}
+
+// Totals returns the whole-run counters: the serial struct plus every
+// partitioned domain's share.
+func (f *Filter) Totals() Stats {
+	t := f.Stats
+	for i := range f.stats {
+		t.NSRTHits += f.stats[i].NSRTHits
+		t.Broadcasts += f.stats[i].Broadcasts
+		t.Discoveries += f.stats[i].Discoveries
+		t.Knockouts += f.stats[i].Knockouts
+	}
+	return t
+}
+
+// getProbe pops a probe from domain d's freelist (or allocates one).
+func (f *Filter) getProbe(d int32) *probe {
+	pool := f.pools[d]
+	if n := len(pool); n > 0 {
+		p := pool[n-1]
+		f.pools[d] = pool[:n-1]
+		return p
+	}
+	return &probe{}
+}
+
+// handleProbe runs in domain u: scan its cores for region presence, knock
+// the region out of their NSRTs, and reply to the source domain.
+func (f *Filter) handleProbe(arg interface{}, u uint64) {
+	p := arg.(*probe)
+	d := int(u)
+	st := &f.stats[d].Stats
+	shared := uint64(0)
+	for _, i := range f.domCores[d] {
+		if f.present[i][p.region] > 0 {
+			shared = 1
+		}
+		if f.tables[i].remove(p.region) {
+			st.Knockouts++
+		}
+	}
+	eng := f.domEng[d]
+	eng.ScheduleFnAtDom(eng.Now()+f.crossHor[d], p.srcDom, f.replyFn, p, shared)
+}
+
+// handleReply runs in the probe's source domain: fold the remote shared
+// bit, and on the last reply learn the region (if nobody held it) and
+// recycle the probe.
+func (f *Filter) handleReply(arg interface{}, u uint64) {
+	p := arg.(*probe)
+	if u != 0 {
+		p.shared = true
+	}
+	p.remaining--
+	if p.remaining > 0 {
+		return
+	}
+	if !p.shared {
+		f.tables[p.me].insert(p.region)
+		f.stats[p.srcDom].Discoveries++
+	}
+	f.pools[p.srcDom] = append(f.pools[p.srcDom], p)
+}
+
+// routePartitioned is Route for domain-owned state.
+func (f *Filter) routePartitioned(info token.RouteInfo) []mesh.NodeID {
+	r := f.RegionOf(info.Addr)
+	me := info.Requester
+	sd := f.coreDom[me]
+	st := &f.stats[sd].Stats
+
+	if info.Attempt == 1 && f.tables[me].contains(r) {
+		st.NSRTHits++
+		return nil
+	}
+
+	st.Broadcasts++
+	out := make([]mesh.NodeID, 0, len(f.coreNodes)-1)
+	for i, n := range f.coreNodes {
+		if i != me {
+			out = append(out, n)
+		}
+	}
+
+	p := f.getProbe(sd)
+	p.region, p.me, p.srcDom = r, me, sd
+	p.remaining, p.shared = len(f.domCores)-1, false
+	for _, i := range f.domCores[sd] {
+		if i == me {
+			continue
+		}
+		if f.present[i][r] > 0 {
+			p.shared = true
+		}
+		if f.tables[i].remove(r) {
+			st.Knockouts++
+		}
+	}
+	if p.remaining == 0 {
+		if !p.shared {
+			f.tables[me].insert(r)
+			st.Discoveries++
+		}
+		f.pools[sd] = append(f.pools[sd], p)
+		return out
+	}
+	eng := f.domEng[sd]
+	at := eng.Now() + f.crossHor[sd]
+	for d := range f.domCores {
+		if int32(d) != sd {
+			eng.ScheduleFnAtDom(at, int32(d), f.probeFn, p, uint64(d))
+		}
+	}
+	return out
+}
+
 // Route implements token.Router.
 func (f *Filter) Route(info token.RouteInfo) []mesh.NodeID {
+	if len(f.domCores) > 1 {
+		return f.routePartitioned(info)
+	}
 	r := f.RegionOf(info.Addr)
 	me := info.Requester
 

@@ -33,7 +33,7 @@ type metrics struct {
 // from the simulator's process-wide counters (vsnoop.TotalEventsFired,
 // vsnoop.TotalSyncCounters); queueDepth and ready are sampled by the
 // caller.
-func (m *metrics) render(w io.Writer, queueDepth int, ready bool) {
+func (m *metrics) render(w io.Writer, queueDepth int, ready bool, shards int) {
 	c := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -59,6 +59,8 @@ func (m *metrics) render(w io.Writer, queueDepth int, ready bool) {
 		rd = 1
 	}
 	g("vsnoop_ready", "1 when the server is accepting jobs.", rd)
+	g("vsnoop_shards", "Event-queue shards forced per run (planner-resolved when -shards is auto; 0 honors each request).",
+		uint64(shards))
 
 	c("vsnoop_engine_events_total", "Simulator events executed by every run in this process.",
 		vsnoop.TotalEventsFired())

@@ -315,7 +315,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	closed := s.closed
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.render(w, s.pool.Depth(), !closed)
+	s.metrics.render(w, s.pool.Depth(), !closed, s.opts.Shards)
 }
 
 // shed writes a 429 with Retry-After, the backpressure contract.

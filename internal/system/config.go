@@ -107,12 +107,17 @@ type Config struct {
 	// outstanding before the completion invariant flags it (0 = 500k).
 	TxnAgeLimit sim.Cycle
 
-	// Shards is the number of parallel event-queue shards for shardable
-	// configurations (0 or 1 = serial execution). Results are bit-identical
-	// for every value: the semantic event ordering is fixed by the config
-	// alone (see shardable), and Shards only chooses how many goroutines
-	// execute it. Clamped to the snoop-domain count (4).
+	// Shards is the number of parallel event-queue shards (0 or 1 = one
+	// worker). Results are bit-identical for every value: the semantic
+	// event ordering is fixed by the config alone (see PlanPartition), and
+	// Shards only chooses how many goroutines execute the computed domains.
+	// Clamped to the planned domain count.
 	Shards int
+
+	// ForceSerial builds the single-queue legacy engine regardless of the
+	// partition plan. Internal knob for benchmarks and differential tests
+	// (not part of the public vsnoop.Config, excluded from Config.Hash).
+	ForceSerial bool
 
 	// NoElision forces the fully-barriered windowed synchronization
 	// protocol on sharded runs: no adaptive free-running, no quiet-window
@@ -212,45 +217,18 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// shardable reports whether this configuration partitions into the four
-// fixed mesh-quadrant snoop domains the parallel engine shards over.
-//
-// When it holds, the machine is built in domain-partitioned mode with four
-// scheduling domains regardless of Config.Shards — the shard count only
-// picks how many goroutines execute those domains, never what they compute.
-// A non-shardable config runs the single-queue legacy engine, also
-// independent of Shards. Either way results depend on the config alone.
-//
-// The predicate requires the quadrant placement invariant: every VM's
-// vCPUs, data, and filter state stay inside one 2x2 quadrant for the whole
-// run. That excludes migration (vCPU maps would span quadrants), content
-// sharing and region scout (cross-VM page state), linear placement (VMs
-// straddle quadrants), the directory model (its own engine wiring), and
-// fault plans with scheduled events or a hypervisor (migration storms and
-// hypervisor pages cross quadrants). Probabilistic message faults remain
-// shardable: drops, duplicates, delays, and home-bounces never move a VM's
-// data into another quadrant.
-func (c Config) shardable() bool {
-	if c.Directory || c.UseRegionScout || c.MigrationPeriodMs != 0 ||
-		c.ContentSharing || c.LinearPlacement {
-		return false
-	}
-	if c.Cores != 16 || c.Mesh.Width != 4 || c.Mesh.Height != 4 {
-		return false
-	}
-	if c.VMs > 4 || c.VCPUsPerVM != 4 {
-		return false
-	}
-	if c.Fault.Active() && (len(c.Fault.Events) > 0 || !c.NoHypervisor) {
-		return false
-	}
-	return true
-}
-
 // Shardable reports whether this configuration runs the domain-partitioned
-// parallel engine (see shardable). CLIs use it to resolve `-shards auto`:
-// a non-shardable config gains nothing from extra shard goroutines.
-func (c Config) Shardable() bool { return c.shardable() }
+// parallel engine: true whenever the topology-aware partition planner
+// (PlanPartition) cuts the mesh into more than one snoop domain. CLIs use
+// it to resolve `-shards auto`; PlannedDomains bounds the useful worker
+// count. The domain decomposition — and therefore the simulated event
+// order — is a pure function of the config, never of Shards, so results
+// are bit-identical for every shard count.
+func (c Config) Shardable() bool { return c.PlanPartition().Domains > 1 }
+
+// PlannedDomains returns the snoop-domain count the partition planner
+// computes for this config (1 = serial legacy engine).
+func (c Config) PlannedDomains() int { return c.PlanPartition().Domains }
 
 // sansControl returns the config with control-plane fields cleared. Stats
 // snapshots this form, so two runs of the same simulation compare deeply

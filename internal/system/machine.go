@@ -12,6 +12,7 @@ import (
 	"vsnoop/internal/mem"
 	"vsnoop/internal/memctrl"
 	"vsnoop/internal/mesh"
+	"vsnoop/internal/partition"
 	"vsnoop/internal/regionscout"
 	"vsnoop/internal/sim"
 	"vsnoop/internal/tlb"
@@ -29,7 +30,11 @@ type coreNode struct {
 	tlb    *tlb.TLB
 	ctrl   *token.CacheCtrl     // token-protocol controller (nil in directory mode)
 	dctrl  *directory.CacheCtrl // directory-protocol controller (nil in token mode)
-	waiter func()               // a vCPU whose reference is blocked on a busy controller
+	// waitq holds vCPUs blocked on the busy controller in arrival order
+	// (relocation hand-over); drainq is the swap buffer the drain event
+	// iterates, so draining allocates nothing in steady state.
+	waitq  []*vcpu
+	drainq []*vcpu
 }
 
 // busy reports whether the core's coherence controller has an outstanding
@@ -60,32 +65,56 @@ type RefSource interface {
 type vcpu struct {
 	id       hv.VCPU
 	dom      *domain // the snoop-domain partition this vCPU executes in
+	core     int     // physical core currently hosting this vCPU
 	gen      RefSource
 	left     int // references remaining
 	executed int // references issued so far (for warmup accounting)
 	// pending holds the reference being replayed across a delayed resumption
-	// (TLB walk, COW trap). A vCPU's stream is strictly sequential, so at
-	// most one resumption is ever outstanding.
+	// (TLB walk, COW trap) or while parked on a busy controller. A vCPU's
+	// stream is strictly sequential, so at most one is ever outstanding.
 	pending workload.Ref
+
+	// Cross-shard migration state (syncMode only). inTxn marks an open
+	// coherence transaction: a depart arriving mid-transaction is deferred
+	// (defFrom/defTo) until the completion callback. parked marks membership
+	// in a core's waitq; done marks a finished stream (migrating a retired
+	// vCPU must not disturb live accounting).
+	inTxn    bool
+	deferred bool
+	parked   bool
+	done     bool
+	defFrom  int
+	defTo    int
 }
 
-// domain is one snoop-domain partition of the machine: the quadrant's
-// cores, the memory controller at its corner, the engine that executes its
-// events, and the run-time statistics its events record. A non-shardable
-// configuration has exactly one domain covering the whole machine, driven
-// by the single legacy engine — the hot paths read state through the
-// domain either way, so serial runs pay no branch for sharding support.
+// domain is one snoop-domain partition of the machine: the cores the
+// graph-cut planner assigned to it, the memory controllers at its corners,
+// the engine that executes its events, and the run-time statistics its
+// events record. A single-domain configuration has exactly one domain
+// covering the whole machine, driven by the single legacy engine — the hot
+// paths read state through the domain either way, so serial runs pay no
+// branch for sharding support.
 type domain struct {
 	idx   int32
 	eng   *sim.Engine
 	st    *Stats
 	cores []int // core indexes owned by this domain
-	mcs   []int // memory-controller indexes owned by this domain
+	mcs   []int // token memory-controller indexes owned by this domain
+	homes []int // directory home indexes owned by this domain
 
 	nvcpus   int
 	live     int  // vCPUs still running
 	warmLeft int  // vCPUs still inside the warmup phase
 	warmed   bool // statistics snapshot taken
+
+	// cow is this domain's private translation overlay for copy-on-write
+	// faulted pages (partitioned content-sharing runs only): the global
+	// page tables stay immutable at runtime, each domain traps its own
+	// writes onto the setup-preallocated target page.
+	cow map[uint64]mem.Translation
+	// probes is the freelist of holder-classification probes this domain
+	// originates.
+	probes []*holderProbe
 }
 
 // Machine is a fully wired simulated system.
@@ -119,8 +148,14 @@ type Machine struct {
 
 	Stats Stats
 
+	// plan is the graph-cut snoop-domain partition computed for this config;
+	// crossHor holds the per-domain cross-shard horizons the mesh derived
+	// from the cut (nil in legacy mode).
+	plan     partition.Plan
+	crossHor []sim.Cycle
+
 	// doms holds the snoop-domain partitions (one covering everything in
-	// legacy mode, four mesh quadrants in sharded mode); sharded is the
+	// legacy mode, the planner's cut in sharded mode); sharded is the
 	// parallel engine driving them (nil in legacy mode).
 	doms    []*domain
 	sharded *sim.ShardedEngine
@@ -129,6 +164,37 @@ type Machine struct {
 	// checker on the same goroutine).
 	chkNow sim.Cycle
 
+	// syncMode marks a partitioned run whose filter state mutates at
+	// runtime (vCPU migration, a VM spanning domains, scheduled fault
+	// events): the machine builds one filter replica per domain and keeps
+	// them coherent with ordered cross-shard deltas. running distinguishes
+	// runtime relocations (cross-shard protocol) from setup placement.
+	syncMode bool
+	running  bool
+	// replicas holds the per-domain filter replicas in syncMode (nil
+	// otherwise; m.Filter then is the single shared filter). replicas[0]
+	// doubles as m.Filter so external accessors keep working.
+	replicas []*core.Filter
+
+	// cowTargets maps CowKey(vm, page) to the setup-preallocated private
+	// host page a COW trap resolves to (partitioned content-sharing only),
+	// making the target a pure function of the config.
+	cowTargets map[uint64]mem.HostPage
+	// friendOf/hasFriend are the static post-merge friend tables used by
+	// partitioned holder classification (the global mem.Manager is never
+	// consulted from domain goroutines at runtime).
+	friendOf  []mem.VMID
+	hasFriend []bool
+
+	// inflight marks vCPUs with an open cross-shard migration (indexed by
+	// vcpuIndex); the shuffler and storms skip them so at most one move per
+	// vCPU is ever in the air. retired counts finished vCPUs observed by
+	// dom0 so the recurring shuffle tick knows when to stop rescheduling.
+	inflight []bool
+	retired  int
+	shufRng  *sim.Rand
+	shufPeriod sim.Cycle
+
 	// DebugMissHook, if set, receives (guest page, write) for every
 	// measured guest L2 miss; used by calibration tooling only.
 	DebugMissHook func(page int, write bool)
@@ -136,8 +202,18 @@ type Machine struct {
 	// stepFn/resumeFn are the prebound event handlers for the two hottest
 	// schedulers (per-reference think-time step, delayed reference
 	// resumption); the vCPU rides in the event's arg, so neither allocates.
-	stepFn   sim.HandlerFn
-	resumeFn sim.HandlerFn
+	// The rest are the prebound handlers of the cross-shard protocols.
+	stepFn        sim.HandlerFn
+	resumeFn      sim.HandlerFn
+	drainFn       sim.HandlerFn
+	departFn      sim.HandlerFn
+	arriveFn      sim.HandlerFn
+	ackFn         sim.HandlerFn
+	retireFn      sim.HandlerFn
+	tickFn        sim.HandlerFn
+	deltaFn       sim.HandlerFn
+	classifyReqFn sim.HandlerFn
+	classifyRepFn sim.HandlerFn
 }
 
 // New builds a machine from cfg; it returns an error on invalid
@@ -148,13 +224,15 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m := &Machine{cfg: cfg, node2i: make(map[mesh.NodeID]int)}
 
-	// Engine topology. A shardable config always partitions into the four
-	// mesh-quadrant snoop domains — Shards only picks how many goroutines
-	// execute them (domain d runs on shard d mod K), so results are
-	// bit-identical for every K. A non-shardable config keeps the single
-	// legacy engine as its one whole-machine domain.
-	if cfg.shardable() {
-		const nd = 4
+	// Engine topology. The graph-cut planner fixes the snoop-domain
+	// decomposition as a pure function of the config — Shards only picks how
+	// many goroutines execute the domains (domain d runs on shard d mod K),
+	// so results are bit-identical for every K. A single-domain plan keeps
+	// the legacy engine as its one whole-machine domain.
+	plan := cfg.PlanPartition()
+	m.plan = plan
+	if plan.Domains > 1 {
+		nd := plan.Domains
 		k := cfg.Shards
 		if k < 1 {
 			k = 1
@@ -180,12 +258,37 @@ func New(cfg Config) (*Machine, error) {
 		m.Eng = sim.NewEngine()
 		m.doms = []*domain{{idx: 0, eng: m.Eng, st: &m.Stats}}
 	}
+	m.syncMode = m.sharded != nil && cfg.needSync(plan)
 
-	m.stepFn = func(arg interface{}, _ uint64) { m.step(arg.(*vcpu)) }
-	m.resumeFn = func(arg interface{}, _ uint64) {
+	// stepFn/resumeFn carry the scheduled domain index in u: when a migrated
+	// vCPU's event fires in its old domain, the handler chases it into the
+	// new one through the deposit path (which preserves the lookahead
+	// discipline). Legacy runs always schedule with u=0 and never chase.
+	m.stepFn = func(arg interface{}, u uint64) {
 		v := arg.(*vcpu)
+		if v.dom.idx != int32(u) {
+			m.chase(v, u, m.stepFn)
+			return
+		}
+		m.step(v)
+	}
+	m.resumeFn = func(arg interface{}, u uint64) {
+		v := arg.(*vcpu)
+		if v.dom.idx != int32(u) {
+			m.chase(v, u, m.resumeFn)
+			return
+		}
 		m.issueRef(v, v.pending)
 	}
+	m.drainFn = func(arg interface{}, _ uint64) { m.drainWaiters(arg.(*coreNode)) }
+	m.departFn = m.handleDepart
+	m.arriveFn = m.handleArrive
+	m.ackFn = func(arg interface{}, _ uint64) { m.inflight[m.vcpuIndex(arg.(*vcpu).id)] = false }
+	m.retireFn = func(_ interface{}, _ uint64) { m.retired++ }
+	m.tickFn = func(_ interface{}, _ uint64) { m.shuffleTick() }
+	m.deltaFn = applyDelta
+	m.classifyReqFn = m.handleClassifyReq
+	m.classifyRepFn = m.handleClassifyRep
 	m.Net = mesh.New(m.Eng, cfg.Mesh)
 	m.MM = mem.NewManager(cfg.HvPages)
 	m.Mapper = hv.NewMapper(cfg.Cores)
@@ -206,25 +309,31 @@ func New(cfg Config) (*Machine, error) {
 		mcNodes[i] = m.Net.Attach(cornerXY[i][0], cornerXY[i][1], nil)
 	}
 
-	// Domain ownership: cores by mesh quadrant, memory controller i at
-	// corner i (which is quadrant i). In legacy mode the single domain owns
-	// everything. Then hand the network the partition so intra-domain
-	// traffic keeps full contention while cross-domain messages are
-	// delivered at zero-load latency into the destination domain's queue.
+	// Domain ownership follows the plan's computed cut: cores by CoreDom,
+	// memory controllers by MCDom (nearest-corner assignment). In legacy
+	// mode the single domain owns everything. Then hand the network the
+	// partition so intra-domain traffic keeps full contention while
+	// cross-domain messages are delivered at zero-load latency into the
+	// destination domain's queue.
 	if m.sharded != nil {
 		for i := 0; i < cfg.Cores; i++ {
-			d := quadrant(i, cfg.Mesh.Width)
+			d := plan.CoreDom[i]
 			m.doms[d].cores = append(m.doms[d].cores, i)
 		}
 		for i := 0; i < cfg.MCs; i++ {
-			m.doms[i].mcs = append(m.doms[i].mcs, i)
+			d := plan.MCDom[i]
+			if cfg.Directory {
+				m.doms[d].homes = append(m.doms[d].homes, i)
+			} else {
+				m.doms[d].mcs = append(m.doms[d].mcs, i)
+			}
 		}
 		nodeDom := make([]int32, cfg.Cores+cfg.MCs)
 		for i := 0; i < cfg.Cores; i++ {
-			nodeDom[coreNodes[i]] = int32(quadrant(i, cfg.Mesh.Width))
+			nodeDom[coreNodes[i]] = plan.CoreDom[i]
 		}
 		for i := 0; i < cfg.MCs; i++ {
-			nodeDom[mcNodes[i]] = int32(i)
+			nodeDom[mcNodes[i]] = plan.MCDom[i]
 		}
 		engs := make([]*sim.Engine, len(m.doms))
 		for d, dom := range m.doms {
@@ -235,26 +344,48 @@ func New(cfg Config) (*Machine, error) {
 		// sharded engine: adaptive-mode output lookaheads tighter than (or
 		// equal to) the global one. NoElision pins the fully-barriered
 		// windowed protocol instead.
-		m.sharded.SetDomainLookahead(m.Net.CrossHorizons())
+		m.crossHor = m.Net.CrossHorizons()
+		m.sharded.SetDomainLookahead(m.crossHor)
 		m.sharded.DisableElision = cfg.NoElision
 	} else {
 		d := m.doms[0]
 		for i := 0; i < cfg.Cores; i++ {
 			d.cores = append(d.cores, i)
 		}
-		if !cfg.Directory { // directory mode uses homes, not token MCs
-			for i := 0; i < cfg.MCs; i++ {
+		for i := 0; i < cfg.MCs; i++ {
+			if cfg.Directory {
+				d.homes = append(d.homes, i)
+			} else {
 				d.mcs = append(d.mcs, i)
 			}
 		}
 	}
 
-	// Caches + filter.
+	// Caches + filter. In syncMode the filter's register file is replicated
+	// per domain: each replica owns the residence callbacks of its domain's
+	// caches, reads its own domain's clock, and propagates its authoritative
+	// map removals to the other replicas as ordered cross-shard deltas.
+	// Outside syncMode every VM's state is written from one domain only, so
+	// the single shared filter stays safe.
 	l2s := make([]*cache.Cache, cfg.Cores)
 	for i := range l2s {
 		l2s[i] = cache.New(cfg.L2)
 	}
-	m.Filter = core.NewFilter(m.Eng, cfg.Filter, coreNodes, l2s)
+	if m.syncMode {
+		m.replicas = make([]*core.Filter, len(m.doms))
+		for d := range m.doms {
+			m.replicas[d] = core.NewFilterScoped(m.doms[d].eng, cfg.Filter, coreNodes, l2s, m.doms[d].cores)
+		}
+		m.Filter = m.replicas[0]
+		for d := range m.replicas {
+			dom := m.doms[d]
+			m.replicas[d].OnMapRemove = func(vm mem.VMID, coreIdx int) {
+				m.broadcastDelta(dom, opMapClear, vm, coreIdx)
+			}
+		}
+	} else {
+		m.Filter = core.NewFilter(m.Eng, cfg.Filter, coreNodes, l2s)
+	}
 
 	// Cache-side controllers.
 	dirParams := directory.DefaultParams()
@@ -265,7 +396,7 @@ func New(cfg Config) (*Machine, error) {
 		cn := &coreNode{idx: i, node: coreNodes[i], dom: m.domOfCore(i), l2: l2s[i], l1: cache.New(cfg.L1), tlb: tlb.New(cfg.TLB)}
 		if cfg.Directory {
 			cn.dctrl = &directory.CacheCtrl{
-				Eng: m.Eng, Net: m.Net, Node: coreNodes[i], Core: i,
+				Eng: cn.dom.eng, Net: m.Net, Node: coreNodes[i], Core: i,
 				L2: cn.l2, P: dirParams, Tokens: cfg.P.TotalTokens,
 				Homes: mcNodes,
 			}
@@ -280,12 +411,19 @@ func New(cfg Config) (*Machine, error) {
 			}
 			cn.ctrl = &token.CacheCtrl{
 				Eng: cn.dom.eng, Net: m.Net, Node: coreNodes[i], Core: i,
-				L2: cn.l2, P: cfg.P, Router: m.Filter,
+				L2: cn.l2, P: cfg.P, Router: m.filterOf(cn.dom),
 				AllCores: others, MCNodes: mcNodes,
 				Rng: sim.NewRandTagged(cfg.Seed, fmt.Sprintf("ctrl%d", i)),
 			}
 			cn.ctrl.Init()
-			cn.ctrl.OnFill = m.onFill
+			if m.sharded != nil {
+				// Provider designation stays domain-local: the fill scan
+				// reads only caches this domain's goroutine owns.
+				dom := cn.dom
+				cn.ctrl.OnFill = func(b *cache.Block, t *token.Txn) { m.onFillDom(dom, b, t) }
+			} else {
+				cn.ctrl.OnFill = m.onFill
+			}
 			m.Net.SetHandler(coreNodes[i], cn.ctrl.Handle)
 		}
 		// L1 inclusion: L2 drops force L1 drops.
@@ -302,15 +440,32 @@ func New(cfg Config) (*Machine, error) {
 	// the L1-inclusion hooks so its presence tracking chains with them.
 	if cfg.UseRegionScout {
 		m.rs = regionscout.New(regionscout.DefaultConfig(), coreNodes, l2s)
+		if m.sharded != nil {
+			// Domain-owned NSRTs and presence maps: remote domains are
+			// consulted through probe events under the same lookahead
+			// discipline as the mesh.
+			domCores := make([][]int, len(m.doms))
+			domEng := make([]*sim.Engine, len(m.doms))
+			for d, dom := range m.doms {
+				domCores[d] = dom.cores
+				domEng[d] = dom.eng
+			}
+			m.rs.Partition(plan.CoreDom, domCores, domEng, m.crossHor)
+		}
 		for _, cn := range m.cores {
 			cn.ctrl.Router = m.rs
 		}
 	}
 
-	// Memory-side controllers: directory homes or token homes.
+	// Memory-side controllers: directory homes or token homes, each driven
+	// by the engine of the domain the planner assigned its corner to.
 	if cfg.Directory {
 		for i := 0; i < cfg.MCs; i++ {
-			h := &directory.Home{Eng: m.Eng, Net: m.Net, Node: mcNodes[i], P: dirParams}
+			hEng := m.Eng
+			if m.sharded != nil {
+				hEng = m.doms[plan.MCDom[i]].eng
+			}
+			h := &directory.Home{Eng: hEng, Net: m.Net, Node: mcNodes[i], P: dirParams}
 			h.Init()
 			m.Net.SetHandler(mcNodes[i], h.Handle)
 			m.homes = append(m.homes, h)
@@ -318,29 +473,77 @@ func New(cfg Config) (*Machine, error) {
 	} else {
 		for i := 0; i < cfg.MCs; i++ {
 			mcEng := m.Eng
+			var oracle token.Oracle = m
 			if m.sharded != nil {
-				mcEng = m.doms[i].eng // MC i sits at corner i = quadrant i
+				md := m.doms[plan.MCDom[i]]
+				mcEng = md.eng
+				// The provider oracle scans only the MC's own domain's
+				// caches: a missed remote provider is a safe false negative
+				// (one extra DRAM read), and the answer is a pure function
+				// of the partition, never of the shard interleaving.
+				oracle = domOracle{m: m, d: md}
 			}
 			mc := &memctrl.Ctrl{Eng: mcEng, Net: m.Net, Node: mcNodes[i], P: cfg.P,
-				AllCaches: coreNodes, Oracle: m}
+				AllCaches: coreNodes, Oracle: oracle}
 			mc.Init()
 			m.Net.SetHandler(mcNodes[i], mc.Handle)
 			m.mcs = append(m.mcs, mc)
 		}
 	}
 
-	// Hypervisor relocation hook keeps the filter's maps current; on an
-	// untagged TLB a vCPU switch also flushes the new core's TLB.
-	m.Mapper.OnRelocate = func(v hv.VCPU, from, to int) {
-		m.Filter.HandleRelocate(v.VM, from, to)
+	// Hypervisor relocation hook keeps the filter's maps (and the vCPU's
+	// cached core index) current; on an untagged TLB a vCPU switch also
+	// flushes the new core's TLB. At runtime in syncMode the move instead
+	// becomes an ordered cross-shard transaction (beginMove): depart in the
+	// old domain, arrive in the new one, registration deltas everywhere.
+	m.Mapper.OnRelocate = func(id hv.VCPU, from, to int) {
+		if m.running && m.syncMode {
+			m.beginMove(id, from, to)
+			return
+		}
+		if v := m.vcpuAt(id); v != nil {
+			v.core = to
+			v.dom = m.domOfCore(to)
+		}
+		if m.replicas != nil {
+			if from >= 0 {
+				ownFrom := m.plan.CoreDom[from]
+				m.replicas[ownFrom].RelocateDepart(id.VM, from)
+				for d, rep := range m.replicas {
+					if int32(d) != ownFrom {
+						rep.ApplyRunClear(id.VM, from)
+					}
+				}
+			}
+			ownTo := m.plan.CoreDom[to]
+			m.replicas[ownTo].RelocateArrive(id.VM, to)
+			for d, rep := range m.replicas {
+				if int32(d) != ownTo {
+					rep.ApplyRunSet(id.VM, to)
+					rep.ApplyMapSet(id.VM, to)
+				}
+			}
+		} else {
+			m.Filter.HandleRelocate(id.VM, from, to)
+		}
 		if !cfg.TLB.Tagged {
 			m.cores[to].tlb.FlushAll()
 		}
 	}
 	// Selective-flush support (PolicyCounterFlush): the filter asks the
-	// departed core's controller to write the VM's blocks back.
-	m.Filter.OnFlushVM = func(coreIdx int, vm mem.VMID) {
-		m.cores[coreIdx].ctrl.FlushVM(vm)
+	// departed core's controller to write the VM's blocks back. Each replica
+	// only ever flushes cores its own domain owns.
+	flushVM := func(coreIdx int, vm mem.VMID) {
+		if cn := m.cores[coreIdx]; cn.ctrl != nil {
+			cn.ctrl.FlushVM(vm)
+		}
+	}
+	if m.replicas != nil {
+		for _, rep := range m.replicas {
+			rep.OnFlushVM = flushVM
+		}
+	} else {
+		m.Filter.OnFlushVM = flushVM
 	}
 
 	// Fault injection: mesh hook, degradation, underflow recovery, and
@@ -354,20 +557,34 @@ func New(cfg Config) (*Machine, error) {
 			// deterministic send order — reproducible for any shard count.
 			m.Injector.EnablePerNode(cfg.Cores + cfg.MCs)
 		}
-		m.Filter.DegradationEnabled = true
-		for _, cn := range m.cores {
-			cn.ctrl.Esc = m.Filter
-			cn.l2.OnResidenceUnderflow = m.Filter.NoteUnderflow
+		if m.replicas != nil {
+			for _, rep := range m.replicas {
+				rep.DegradationEnabled = true
+			}
+		} else {
+			m.Filter.DegradationEnabled = true
 		}
-		m.Injector.ScheduleEvents(m.Eng, fault.EventHooks{
-			CorruptMap: m.Filter.CorruptMap,
-			CorruptCounter: func(coreIdx int, vm mem.VMID, delta int) {
-				if coreIdx >= 0 && coreIdx < len(m.cores) {
-					m.cores[coreIdx].l2.CorruptResidence(vm, delta)
-				}
-			},
-			MigrationStorm: m.migrationStorm,
-		})
+		for _, cn := range m.cores {
+			f := m.filterOf(cn.dom)
+			cn.ctrl.Esc = f
+			cn.l2.OnResidenceUnderflow = f.NoteUnderflow
+		}
+		if m.syncMode {
+			// Scheduled events run in domain 0 (single writer for the
+			// injector's event counters) and fan out to the target domains
+			// through the deposit path.
+			m.scheduleFaultEvents()
+		} else {
+			m.Injector.ScheduleEvents(m.Eng, fault.EventHooks{
+				CorruptMap: m.Filter.CorruptMap,
+				CorruptCounter: func(coreIdx int, vm mem.VMID, delta int) {
+					if coreIdx >= 0 && coreIdx < len(m.cores) {
+						m.cores[coreIdx].l2.CorruptResidence(vm, delta)
+					}
+				},
+				MigrationStorm: m.migrationStorm,
+			})
+		}
 	}
 
 	// Invariant checking: token-custody ledger on every controller plus
@@ -394,7 +611,7 @@ func New(cfg Config) (*Machine, error) {
 				ctrls[i] = cn.ctrl
 			}
 			for i, mc := range m.mcs {
-				mc.Obs = m.ledgers[m.doms[i].idx]
+				mc.Obs = m.ledgers[plan.MCDom[i]]
 			}
 			nowFn := func() sim.Cycle { return m.chkNow }
 			m.Checker = &check.Checker{Period: cfg.CheckPeriod, Now: nowFn}
@@ -420,41 +637,51 @@ func New(cfg Config) (*Machine, error) {
 	m.setupVMs()
 
 	// Sharded post-setup wiring. Page allocation must not depend on the
-	// shard interleaving of first touches, every vCPU belongs to its VM's
-	// quadrant domain, and (under faults) each VM's degradation machinery
-	// is confined to its quadrant's caches and clock.
+	// shard interleaving of first touches; COW targets are preallocated so
+	// a trap never mutates global page tables; (under faults) each VM's
+	// degradation machinery is confined to its owning domain's caches and
+	// clock. Every vCPU then joins the domain its core was cut into.
 	if m.sharded != nil {
 		m.MM.PreallocateAll()
+		if cfg.ContentSharing {
+			m.cowTargets = m.MM.PrepareCowTargets()
+			for _, d := range m.doms {
+				d.cow = make(map[uint64]mem.Translation)
+			}
+			m.initFriendTable()
+		}
 		if m.Injector != nil {
-			for q := 0; q < cfg.VMs; q++ {
-				m.Filter.SetVMScope(mem.VMID(q), m.doms[q].cores, m.doms[q].eng)
+			if m.replicas != nil {
+				for d, rep := range m.replicas {
+					for q := 0; q < cfg.VMs; q++ {
+						rep.SetVMScope(mem.VMID(q), m.doms[d].cores, m.doms[d].eng)
+					}
+				}
+			} else {
+				for q := 0; q < cfg.VMs; q++ {
+					// Without sync the VM never leaves its home domain
+					// (needSync would be true otherwise), so scope its
+					// degradation machinery to that domain alone.
+					hd := m.domOfCore(m.Mapper.CoreOf(hv.VCPU{VM: mem.VMID(q), Idx: 0}))
+					m.Filter.SetVMScope(mem.VMID(q), hd.cores, hd.eng)
+				}
 			}
 		}
 	}
 	for _, v := range m.vcpus {
-		d := m.doms[0]
-		if m.sharded != nil {
-			d = m.doms[int(v.id.VM)] // placeVMs pins VM q to quadrant q
-		}
-		v.dom = d
-		d.nvcpus++
+		v.core = m.Mapper.CoreOf(v.id)
+		v.dom = m.domOfCore(v.core)
+		v.dom.nvcpus++
 	}
 	return m, nil
 }
 
-// quadrant returns the snoop-domain index of core i on a width-w mesh
-// partitioned into 2x2-quadrant domains.
-func quadrant(i, w int) int {
-	x, y := i%w, i/w
-	return (x / 2) + 2*(y/2)
-}
-
-// domOfCore returns the domain owning core i.
+// domOfCore returns the domain owning core i (per the computed cut).
 func (m *Machine) domOfCore(i int) *domain {
 	if m.sharded == nil {
 		return m.doms[0]
 	}
-	return m.doms[quadrant(i, m.cfg.Mesh.Width)]
+	return m.doms[m.plan.CoreDom[i]]
 }
 
 // migrationStorm performs up to pairs cross-VM vCPU swaps back-to-back (a
@@ -675,6 +902,20 @@ func (m *Machine) runSharded() (*Stats, error) {
 	m.sharded.SetProgressLimit(limit)
 	m.sharded.SetCancel(cfg.Cancel)
 	m.sharded.MaxSteps = cfg.MaxSteps
+	m.running = true
+	if m.syncMode {
+		m.inflight = make([]bool, len(m.vcpus))
+		if cfg.MigrationPeriodMs > 0 {
+			// The machine owns the shuffle tick in partitioned runs: it
+			// runs in domain 0 (single writer for the mapper and the RNG)
+			// and every move it triggers becomes a cross-shard transaction.
+			m.shufRng = sim.NewRandTagged(cfg.Seed, "shuffle")
+			m.shufPeriod = sim.Cycle(cfg.MigrationPeriodMs * float64(cfg.CyclesPerMs))
+			eng := m.doms[0].eng
+			eng.SetCurDomain(0)
+			eng.ScheduleFn(m.shufPeriod, m.tickFn, nil, 0)
+		}
+	}
 	for _, d := range m.doms {
 		d.live = d.nvcpus
 		if cfg.WarmupRefs > 0 {
@@ -685,7 +926,7 @@ func (m *Machine) runSharded() (*Stats, error) {
 	}
 	for i, v := range m.vcpus {
 		v.dom.eng.SetCurDomain(v.dom.idx)
-		v.dom.eng.ScheduleFn(sim.Cycle(i), m.stepFn, v, 0)
+		v.dom.eng.ScheduleFn(sim.Cycle(i), m.stepFn, v, uint64(v.dom.idx))
 	}
 	if m.Checker != nil {
 		period := cfg.CheckPeriod
@@ -751,6 +992,13 @@ func (m *Machine) step(v *vcpu) {
 		if d.st.ExecCycles < uint64(d.eng.Now()) {
 			d.st.ExecCycles = uint64(d.eng.Now())
 		}
+		v.done = true
+		if m.shufPeriod > 0 {
+			// Tell dom0 (which owns the recurring shuffle tick) that one
+			// more stream retired, so the tick can stop rescheduling once
+			// every vCPU is done and the run can drain.
+			d.eng.ScheduleFnAtDom(d.eng.Now()+m.crossHor[d.idx], 0, m.retireFn, nil, 0)
+		}
 		return
 	}
 	v.left--
@@ -771,18 +1019,28 @@ func (m *Machine) step(v *vcpu) {
 // the vCPU may have been relocated, or another vCPU may have claimed the
 // controller, while the delay elapsed.
 func (m *Machine) issueRef(v *vcpu, ref workload.Ref) {
-	cn := m.cores[m.Mapper.CoreOf(v.id)]
+	cn := m.cores[v.core]
 	if cn.busy() {
-		prev := cn.waiter
-		cn.waiter = func() {
-			if prev != nil {
-				prev()
-			}
-			m.issueRef(v, ref)
-		}
+		v.pending = ref
+		v.parked = true
+		cn.waitq = append(cn.waitq, v)
 		return
 	}
 	m.execute(v, cn, ref)
+}
+
+// drainWaiters re-issues every vCPU parked on cn, in arrival order. The
+// first one claims the controller; the rest re-park. One drain event per
+// completed transaction with waiters — the same event count the legacy
+// closure chain produced.
+func (m *Machine) drainWaiters(cn *coreNode) {
+	q := cn.waitq
+	cn.waitq = cn.drainq[:0]
+	cn.drainq = q
+	for _, v := range q {
+		v.parked = false
+		m.issueRef(v, v.pending)
+	}
 }
 
 // execute performs one memory reference on core cn.
@@ -802,21 +1060,34 @@ func (m *Machine) execute(v *vcpu, cn *coreNode, ref workload.Ref) {
 	case workload.CtxGuest:
 		tr, hit := cn.tlb.Lookup(v.id.VM, ref.Page)
 		if !hit {
-			tr = m.MM.Translate(v.id.VM, ref.Page)
+			tr = m.translate(d, v.id.VM, ref.Page)
 			cn.tlb.Insert(v.id.VM, ref.Page, tr)
 			walk = sim.Cycle(cfg.TLB.WalkLatency)
 		}
 		if ref.Write && tr.Type == mem.PageROShared {
 			// Store to a content-shared page: hypervisor COW, then a TLB
 			// shootdown on every core the VM may run on, then retry the
-			// access against the fresh private page.
-			m.MM.CopyOnWrite(v.id.VM, ref.Page)
-			st.Cows++
-			for _, c := range m.cores {
-				c.tlb.Shootdown(v.id.VM, ref.Page)
+			// access against the fresh private page. Partitioned runs trap
+			// into the domain's private overlay (the target host page was
+			// preallocated at setup) and shoot down only their own cores —
+			// another domain writing the same page traps again there, onto
+			// the same target.
+			if m.cowTargets != nil {
+				key := mem.CowKey(v.id.VM, ref.Page)
+				d.cow[key] = mem.Translation{Host: m.cowTargets[key], Type: mem.PagePrivate}
+				st.Cows++
+				for _, ci := range d.cores {
+					m.cores[ci].tlb.Shootdown(v.id.VM, ref.Page)
+				}
+			} else {
+				m.MM.CopyOnWrite(v.id.VM, ref.Page)
+				st.Cows++
+				for _, c := range m.cores {
+					c.tlb.Shootdown(v.id.VM, ref.Page)
+				}
 			}
 			v.pending = ref
-			d.eng.ScheduleFn(cfg.CowLatency, m.resumeFn, v, 0)
+			d.eng.ScheduleFn(cfg.CowLatency, m.resumeFn, v, uint64(d.idx))
 			return
 		}
 		host, ptype, tagVM = tr.Host, tr.Type, v.id.VM
@@ -832,7 +1103,7 @@ func (m *Machine) execute(v *vcpu, cn *coreNode, ref workload.Ref) {
 		// (re-entering through the occupancy check: the core may have been
 		// claimed, or the vCPU relocated, during the walk).
 		v.pending = ref
-		d.eng.ScheduleFn(walk, m.resumeFn, v, 0)
+		d.eng.ScheduleFn(walk, m.resumeFn, v, uint64(d.idx))
 		return
 	}
 
@@ -873,18 +1144,30 @@ func (m *Machine) execute(v *vcpu, cn *coreNode, ref workload.Ref) {
 		m.DebugMissHook(int(ref.Page), ref.Write)
 	}
 	if ptype == mem.PageROShared {
-		m.classifyHolder(st, addr, v.id.VM)
+		if m.sharded != nil {
+			m.classifyPartitioned(d, addr, v.id.VM)
+		} else {
+			m.classifyHolder(st, addr, v.id.VM)
+		}
 	}
 	start := d.eng.Now()
+	v.inTxn = true
 	cn.start(addr, tagVM, ptype, ref.Write, func() {
+		v.inTxn = false
 		st.MissLatency.Observe(float64(d.eng.Now() - start))
 		m.l1Fill(cn, addr, tagVM, ref.Write)
-		// Free a waiting relocated vCPU, then continue this stream.
-		if w := cn.waiter; w != nil {
-			cn.waiter = nil
-			d.eng.Schedule(0, w)
+		// Free waiting relocated vCPUs, then continue this stream.
+		if len(cn.waitq) > 0 {
+			d.eng.ScheduleFn(0, m.drainFn, cn, 0)
 		}
 		m.finish(v, 0)
+		if v.deferred {
+			// A cross-shard depart arrived mid-transaction: perform it now
+			// that the transaction closed. The step just scheduled above
+			// fires in this (old) domain and chases the vCPU to its new one.
+			v.deferred = false
+			m.departNow(v, v.defFrom, v.defTo)
+		}
 	})
 }
 
@@ -900,7 +1183,7 @@ func (m *Machine) l1Fill(cn *coreNode, addr mem.BlockAddr, vm mem.VMID, write bo
 
 // finish schedules the vCPU's next reference after latency + think time.
 func (m *Machine) finish(v *vcpu, latency sim.Cycle) {
-	v.dom.eng.ScheduleFn(latency+m.cfg.ThinkCycles, m.stepFn, v, 0)
+	v.dom.eng.ScheduleFn(latency+m.cfg.ThinkCycles, m.stepFn, v, uint64(v.dom.idx))
 }
 
 // L2 exposes core i's L2 cache (tests and invariant checks).
@@ -927,9 +1210,9 @@ func (m *Machine) CheckFilterInvariant() error {
 			if m.MM.TypeOf(b.Addr.PageOf()) != mem.PagePrivate {
 				return
 			}
-			if !m.Filter.Contains(b.VM, i) {
+			if !m.filterContains(b.VM, i) {
 				err = fmt.Errorf("core %d holds private block %d of VM %d but is not in its vCPU map (map=%v)",
-					i, b.Addr, b.VM, m.Filter.MapCores(b.VM))
+					i, b.Addr, b.VM, m.filterOf(cn.dom).MapCores(b.VM))
 			}
 		})
 		if err != nil {

@@ -1,0 +1,203 @@
+package system
+
+import (
+	"fmt"
+	"testing"
+
+	"vsnoop/internal/core"
+	"vsnoop/internal/fault"
+	"vsnoop/internal/mem"
+)
+
+// identityAcross is the universal-sharding acceptance harness: run cfg with
+// Shards=0 (the single-goroutine execution of the same partitioned plan)
+// and require bit-identical statistics at every Shards ∈ {1, 2, 4, 8}.
+// Shards beyond the plan's domain count clamp, so 8 also pins the clamp.
+func identityAcross(t *testing.T, cfg Config) *Stats {
+	t.Helper()
+	run := func(shards int) *Stats {
+		c := cfg
+		c.Shards = shards
+		return runCfg(t, c)
+	}
+	serial := run(0)
+	for _, k := range []int{1, 2, 4, 8} {
+		statsEqual(t, fmt.Sprintf("shards=%d", k), serial, run(k))
+	}
+	return serial
+}
+
+// TestContentSharingBitIdentical covers the content-shared page machinery —
+// per-domain COW overlays onto preallocated targets, domain-local provider
+// designation, and the cross-domain holder-classification probes — under
+// the friend-VM snoop policy that consumes all of it.
+func TestContentSharingBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefsPerVCPU = 1200
+	cfg.WarmupRefs = 200
+	cfg.ContentSharing = true
+	cfg.Filter.Policy = core.PolicyCounter
+	cfg.Filter.Content = core.ContentFriendVM
+	st := identityAcross(t, cfg)
+	if st.L1AccessesContent == 0 {
+		t.Error("content-sharing run touched no content pages")
+	}
+	if st.HolderMemory+st.HolderIntraVM+st.HolderFriend+st.HolderOther == 0 {
+		t.Error("no holder classifications recorded")
+	}
+}
+
+// TestCowOverlayDomainLocal pins the partitioned copy-on-write semantics
+// directly (the synthetic workloads never store to content pages, so the
+// trap path needs a unit-level check): targets are preallocated at setup, a
+// trap installs the domain-local overlay without touching global page
+// tables, and other domains keep reading the shared translation until they
+// trap themselves — onto the same preallocated target.
+func TestCowOverlayDomainLocal(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ContentSharing = true
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.doms) <= 1 {
+		t.Fatal("content config planned a single domain")
+	}
+	if len(m.cowTargets) == 0 {
+		t.Fatal("no COW targets preallocated for a content-sharing config")
+	}
+	var key uint64
+	for k := range m.cowTargets {
+		if key == 0 || k < key {
+			key = k // smallest key: deterministic pick from the map
+		}
+	}
+	vm := mem.VMID(key >> 32)
+	gp := mem.GuestPage(uint32(key))
+	if tr := m.MM.Translate(vm, gp); tr.Type != mem.PageROShared {
+		t.Fatalf("target page not RO-shared before trap: %v", tr.Type)
+	}
+	d0, d1 := m.doms[0], m.doms[1]
+	d0.cow[key] = mem.Translation{Host: m.cowTargets[key], Type: mem.PagePrivate}
+	got := m.translate(d0, vm, gp)
+	if got.Type != mem.PagePrivate || got.Host != m.cowTargets[key] {
+		t.Fatalf("overlay translation = %+v, want private page %v", got, m.cowTargets[key])
+	}
+	if tr := m.translate(d1, vm, gp); tr.Type != mem.PageROShared {
+		t.Fatalf("other domain's translation changed: %+v", tr)
+	}
+	if tr := m.MM.Translate(vm, gp); tr.Type != mem.PageROShared {
+		t.Fatalf("global page tables mutated by overlay trap: %+v", tr)
+	}
+}
+
+// TestRegionScoutBitIdentical covers the domain-sharded RegionScout router:
+// NSRT and presence state owned per domain, remote regions consulted via
+// probe events under the cross-shard lookahead.
+func TestRegionScoutBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefsPerVCPU = 1200
+	cfg.WarmupRefs = 200
+	cfg.UseRegionScout = true
+	st := identityAcross(t, cfg)
+	if st.RegionBroadcasts == 0 {
+		t.Error("RegionScout issued no broadcasts")
+	}
+}
+
+// TestDirectoryBitIdentical covers the directory protocol: home state is
+// owned by the MC's domain, and per-domain home counters fold into the run
+// totals.
+func TestDirectoryBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefsPerVCPU = 1200
+	cfg.WarmupRefs = 200
+	cfg.Directory = true
+	st := identityAcross(t, cfg)
+	if st.DirLookups == 0 {
+		t.Error("directory saw no lookups")
+	}
+}
+
+// TestLinearPlacementBitIdentical covers VM placements that span domains:
+// linear (row-major) placement puts VM 1 and VM 3 across the planner's cut,
+// so the run needs replicated filter state even without migration.
+func TestLinearPlacementBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefsPerVCPU = 1200
+	cfg.WarmupRefs = 200
+	cfg.LinearPlacement = true
+	plan := cfg.PlanPartition()
+	if plan.Domains <= 1 {
+		t.Fatal("linear placement planned a single domain; test covers nothing")
+	}
+	if !cfg.needSync(plan) && plan.SpansVM {
+		t.Fatal("spanning plan did not require synchronized filter state")
+	}
+	identityAcross(t, cfg)
+}
+
+// TestFaultEventsBitIdentical covers scheduled fault events on the
+// partitioned engine with hypervisor activity layered in: map and counter
+// corruption fan out from domain 0 as replica deltas and domain-local
+// sub-events, and migration storms run as ordered cross-shard relocations.
+func TestFaultEventsBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefsPerVCPU = 1500
+	cfg.WarmupRefs = 300
+	cfg.NoHypervisor = false
+	cfg.Filter.Policy = core.PolicyCounterThreshold
+	cfg.Fault = &fault.Plan{Seed: 21, Events: []fault.Event{
+		{At: 15000, Kind: fault.EvCorruptMap, VM: 1, Core: 5},
+		{At: 25000, Kind: fault.EvCorruptCounter, VM: 2, Core: 9, Count: 3},
+		{At: 35000, Kind: fault.EvMigrationStorm, Count: 4},
+		{At: 55000, Kind: fault.EvMigrationStorm, Count: 4},
+	}}
+	st := identityAcross(t, cfg)
+	if st.MapCorruptions != 1 || st.CounterCorruptions != 1 {
+		t.Errorf("corruption events lost: map=%d counter=%d",
+			st.MapCorruptions, st.CounterCorruptions)
+	}
+	if st.StormRelocations == 0 {
+		t.Error("storms relocated nothing")
+	}
+}
+
+// TestLargeMeshBitIdentical covers a geometry the quadrant invariant could
+// never shard: an 8x8 mesh with 16 VMs placed linearly. The planner must
+// find a multi-domain guillotine cut and the partitioned run must match the
+// single-shard execution exactly.
+func TestLargeMeshBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 64
+	cfg.Mesh.Width = 8
+	cfg.Mesh.Height = 8
+	cfg.VMs = 16
+	cfg.RefsPerVCPU = 400
+	cfg.WarmupRefs = 100
+	plan := cfg.PlanPartition()
+	if plan.Domains <= 1 {
+		t.Fatal("8x8 mesh planned a single domain")
+	}
+	identityAcross(t, cfg)
+}
+
+// TestMigrationContentCombined is the everything-at-once identity check:
+// periodic migration over content-shared pages, so relocation transactions,
+// COW overlays, holder probes, and filter deltas all interleave.
+func TestMigrationContentCombined(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefsPerVCPU = 1000
+	cfg.WarmupRefs = 200
+	cfg.ContentSharing = true
+	cfg.Filter.Content = core.ContentIntraVM
+	cfg.MigrationPeriodMs = 2
+	cfg.CyclesPerMs = 12000
+	st := identityAcross(t, cfg)
+	if st.Relocations == 0 {
+		t.Error("combined run relocated nothing")
+	}
+	if st.L1AccessesContent == 0 {
+		t.Error("combined run touched no content pages")
+	}
+}

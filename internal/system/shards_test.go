@@ -150,22 +150,44 @@ func TestShardedHypervisorBitIdentical(t *testing.T) {
 	}
 }
 
-// TestNonShardableIgnoresShards pins the fallback: a configuration outside
-// the quadrant-partition invariant (here, migration) runs on the legacy
-// serial engine for any Shards value, with identical results.
-func TestNonShardableIgnoresShards(t *testing.T) {
-	run := func(shards int) *Stats {
+// TestMigrationBitIdentical pins the tentpole guarantee for the class the
+// old quadrant invariant disqualified outright: runtime vCPU migration. The
+// shuffler runs as a machine-owned dom0 tick and every relocation is an
+// ordered depart/arrive/ack transaction between domains, so the partitioned
+// run must stay bit-identical to the single-shard run for every K.
+func TestMigrationBitIdentical(t *testing.T) {
+	run := func(shards int, noElision bool) *Stats {
 		cfg := DefaultConfig()
 		cfg.RefsPerVCPU = 1000
 		cfg.MigrationPeriodMs = 2
 		cfg.CyclesPerMs = 12000
 		cfg.Shards = shards
+		cfg.NoElision = noElision
 		return runCfg(t, cfg)
 	}
-	if cfg := (Config{}); cfg.shardable() {
+	serial := run(0, false)
+	if serial.Relocations == 0 {
+		t.Fatal("migration config relocated nothing")
+	}
+	if serial.MapSyncs == 0 {
+		t.Fatal("relocations synchronized no VM maps")
+	}
+	for _, k := range []int{1, 2, 4} {
+		statsEqual(t, fmt.Sprintf("shards=%d", k), serial, run(k, false))
+		if k > 1 {
+			statsEqual(t, fmt.Sprintf("shards=%d/no-elision", k), serial, run(k, true))
+		}
+	}
+	// A config the planner cannot cut (single core, or forced serial) still
+	// reports a single domain and runs the legacy engine for any Shards.
+	if cfg := (Config{}); cfg.Shardable() {
 		t.Fatal("zero config must not be shardable")
 	}
-	statsEqual(t, "shards=4", run(0), run(4))
+	forced := DefaultConfig()
+	forced.ForceSerial = true
+	if forced.Shardable() {
+		t.Fatal("ForceSerial config must not be shardable")
+	}
 }
 
 // TestAdaptiveZeroBarrierWaits is the synchronization-telemetry regression
@@ -222,12 +244,10 @@ func TestAdaptiveZeroBarrierWaits(t *testing.T) {
 }
 
 // TestAdaptiveRaceSoak soaks the free-running adaptive protocol under
-// -race with the heaviest cross-domain traffic a shardable configuration
-// can generate: hypervisor/dom0 activity layered over counter-threshold
-// filtering. Migration storms would be the true worst case, but migration
-// breaks the quadrant-placement invariant and always runs on the legacy
-// serial engine (see TestNonShardableIgnoresShards); the legacy storm soak
-// below keeps that path covered.
+// -race with heavy cross-domain traffic that needs no synchronized mode:
+// hypervisor/dom0 activity layered over counter-threshold filtering.
+// Migration (the replicated-filter synchronized mode) gets its own soak in
+// TestMigrationStormRaceSoak below.
 func TestAdaptiveRaceSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test is slow")
@@ -250,39 +270,45 @@ func TestAdaptiveRaceSoak(t *testing.T) {
 }
 
 // TestMigrationStormRaceSoak soaks vCPU relocation storms (the cross-VM
-// worst case) under -race. Storms are excluded from the quadrant invariant,
-// so this exercises the legacy serial engine — kept alongside the adaptive
-// soak so both engines stay under the race detector.
+// worst case) under -race, now on the partitioned engine: periodic shuffles
+// plus storm events drive the depart/arrive/ack transaction and the filter
+// replica deltas continuously, with invariant checks forcing the windowed
+// protocol. The 4-shard run must match the single-shard run exactly.
 func TestMigrationStormRaceSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test is slow")
 	}
-	cfg := DefaultConfig()
-	cfg.RefsPerVCPU = 3000
-	cfg.WarmupRefs = 400
-	cfg.Filter.Policy = core.PolicyCounter
-	cfg.MigrationPeriodMs = 2
-	cfg.CyclesPerMs = 12000
-	cfg.Fault = fault.Moderate(13)
-	cfg.Fault.Events = append(cfg.Fault.Events,
-		fault.Event{At: 20000, Kind: fault.EvMigrationStorm, Count: 6},
-		fault.Event{At: 60000, Kind: fault.EvMigrationStorm, Count: 6},
-	)
-	cfg.Shards = 4 // ignored: storms are non-shardable
-	m, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
+	run := func(shards int) *Stats {
+		cfg := DefaultConfig()
+		cfg.RefsPerVCPU = 3000
+		cfg.WarmupRefs = 400
+		cfg.Filter.Policy = core.PolicyCounter
+		cfg.MigrationPeriodMs = 2
+		cfg.CyclesPerMs = 12000
+		cfg.Fault = fault.Moderate(13)
+		cfg.Fault.Events = append(cfg.Fault.Events,
+			fault.Event{At: 20000, Kind: fault.EvMigrationStorm, Count: 6},
+			fault.Event{At: 60000, Kind: fault.EvMigrationStorm, Count: 6},
+		)
+		cfg.Shards = shards
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.RunChecked()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
 	}
-	st, err := m.RunChecked()
-	if err != nil {
-		t.Fatal(err)
-	}
+	st := run(4)
 	if len(st.InvariantViolations) != 0 {
 		t.Fatalf("invariants violated: %v", st.InvariantViolations)
 	}
 	if st.StormRelocations == 0 {
 		t.Fatal("storms relocated nothing")
 	}
+	statsEqual(t, "storm-soak", run(0), st)
 }
 
 // TestShardRaceSoak is the data-race soak: a 4-shard run under the moderate

@@ -165,6 +165,12 @@ func (m *Machine) takeSnapshot(d *domain) {
 	} else {
 		bh, by, ms = m.Net.ByteHops, m.Net.Bytes, m.Net.Messages
 	}
+	// COW traps land in the domain's own counter under the partitioned
+	// overlay; the legacy global path still counts on the memory manager.
+	cows := m.MM.CowCount
+	if m.cowTargets != nil {
+		cows = s.Cows
+	}
 	w := snapshot{
 		l1Acc: s.L1Accesses, l1AccC: s.L1AccessesContent, l2Acc: s.L2Accesses,
 		l2Miss: s.L2Misses, l2MissC: s.L2MissesContent,
@@ -172,7 +178,7 @@ func (m *Machine) takeSnapshot(d *domain) {
 		hMem: s.HolderMemory, hIntra: s.HolderIntraVM,
 		hFriend: s.HolderFriend, hOther: s.HolderOther,
 		byteHops: bh, bytes: by, messages: ms,
-		cows:  m.MM.CowCount,
+		cows:  cows,
 		cycle: uint64(d.eng.Now()),
 	}
 	for _, ci := range d.cores {
@@ -193,9 +199,9 @@ func (m *Machine) takeSnapshot(d *domain) {
 		w.dramR += m.mcs[mi].Stats.DRAMReads
 		w.dramW += m.mcs[mi].Stats.DRAMWrites
 	}
-	for _, h := range m.homes {
-		w.dramR += h.Stats.DRAMReads
-		w.dramW += h.Stats.DRAMWrites
+	for _, hi := range d.homes {
+		w.dramR += m.homes[hi].Stats.DRAMReads
+		w.dramW += m.homes[hi].Stats.DRAMWrites
 	}
 	s.warm = w
 	s.hasWarm = true
@@ -326,8 +332,9 @@ func (m *Machine) finalizeStats() {
 		s.TLBShootdowns += cn.tlb.Stats.Shootdowns
 	}
 	if m.rs != nil {
-		s.RegionNSRTHits = m.rs.Stats.NSRTHits
-		s.RegionBroadcasts = m.rs.Stats.Broadcasts
+		rt := m.rs.Totals()
+		s.RegionNSRTHits = rt.NSRTHits
+		s.RegionBroadcasts = rt.Broadcasts
 	}
 	s.ByteHops = m.Net.ByteHops
 	s.Bytes = m.Net.Bytes
@@ -373,12 +380,17 @@ func (m *Machine) finalizeSharded() {
 		st := d.st
 		for _, ci := range d.cores {
 			cn := m.cores[ci]
-			st.SnoopsIssued += cn.ctrl.Stats.SnoopsIssued
-			st.SnoopLookups += cn.ctrl.Stats.SnoopLookups
-			st.Transactions += cn.ctrl.Stats.Transactions
-			st.Retries += cn.ctrl.Stats.Retries
-			st.Persistent += cn.ctrl.Stats.Persistent
-			st.Writebacks += cn.ctrl.Stats.Writebacks
+			if cn.dctrl != nil {
+				st.Transactions += cn.dctrl.Stats.Transactions
+				st.Writebacks += cn.dctrl.Stats.Writebacks
+			} else {
+				st.SnoopsIssued += cn.ctrl.Stats.SnoopsIssued
+				st.SnoopLookups += cn.ctrl.Stats.SnoopLookups
+				st.Transactions += cn.ctrl.Stats.Transactions
+				st.Retries += cn.ctrl.Stats.Retries
+				st.Persistent += cn.ctrl.Stats.Persistent
+				st.Writebacks += cn.ctrl.Stats.Writebacks
+			}
 			st.TLBHits += cn.tlb.Stats.Hits
 			st.TLBMisses += cn.tlb.Stats.Misses
 			st.TLBShootdowns += cn.tlb.Stats.Shootdowns
@@ -386,6 +398,14 @@ func (m *Machine) finalizeSharded() {
 		for _, mi := range d.mcs {
 			st.DRAMReads += m.mcs[mi].Stats.DRAMReads
 			st.DRAMWrites += m.mcs[mi].Stats.DRAMWrites
+		}
+		for _, hi := range d.homes {
+			h := m.homes[hi]
+			st.DRAMReads += h.Stats.DRAMReads
+			st.DRAMWrites += h.Stats.DRAMWrites
+			st.DirLookups += h.Stats.Lookups
+			st.DirForwards += h.Stats.Forwards
+			st.DirInvalidates += h.Stats.Invalidates
 		}
 		st.ByteHops, st.Bytes, st.Messages = m.Net.DomainTraffic(int(d.idx))
 		st.applyWarm()
@@ -416,20 +436,50 @@ func (m *Machine) finalizeSharded() {
 		s.HolderIntraVM += st.HolderIntraVM
 		s.HolderFriend += st.HolderFriend
 		s.HolderOther += st.HolderOther
+		s.DirLookups += st.DirLookups
+		s.DirForwards += st.DirForwards
+		s.DirInvalidates += st.DirInvalidates
+		s.Cows += st.Cows
 		s.MissLatency.Merge(&st.MissLatency)
 		if st.ExecCycles > s.ExecCycles {
 			s.ExecCycles = st.ExecCycles
 		}
 	}
 
-	s.Cows = m.MM.CowCount
-	s.MapSyncs = m.Filter.MapSyncs
+	if m.cowTargets == nil {
+		// Global COW path (no domain overlays): the manager's count is
+		// authoritative, exactly as in legacy runs.
+		s.Cows = m.MM.CowCount
+	}
 	s.Relocations = m.Mapper.Relocations
-	s.RemovalPeriods = &m.Filter.RemovalPeriods
-	s.FallbackCounterAug = m.Filter.FallbackCounterAug()
-	s.FallbackBroadcast = m.Filter.FallbackBroadcast()
-	s.MapRebuilds = m.Filter.MapRebuilds()
-	s.CounterUnderflows = m.Filter.Underflows()
+	if m.replicas != nil {
+		// Replicated register file: event counters live on the owning
+		// domain's replica; fold them, and merge the removal-period CDFs
+		// into replica 0's (the run is quiesced, so this is safe).
+		for _, rep := range m.replicas {
+			s.MapSyncs += rep.MapSyncs
+			s.FallbackCounterAug += rep.FallbackCounterAug()
+			s.FallbackBroadcast += rep.FallbackBroadcast()
+			s.MapRebuilds += rep.MapRebuilds()
+			s.CounterUnderflows += rep.Underflows()
+		}
+		for _, rep := range m.replicas[1:] {
+			m.replicas[0].RemovalPeriods.Merge(&rep.RemovalPeriods)
+		}
+		s.RemovalPeriods = &m.replicas[0].RemovalPeriods
+	} else {
+		s.MapSyncs = m.Filter.MapSyncs
+		s.RemovalPeriods = &m.Filter.RemovalPeriods
+		s.FallbackCounterAug = m.Filter.FallbackCounterAug()
+		s.FallbackBroadcast = m.Filter.FallbackBroadcast()
+		s.MapRebuilds = m.Filter.MapRebuilds()
+		s.CounterUnderflows = m.Filter.Underflows()
+	}
+	if m.rs != nil {
+		rt := m.rs.Totals()
+		s.RegionNSRTHits = rt.NSRTHits
+		s.RegionBroadcasts = rt.Broadcasts
+	}
 	if m.Injector != nil {
 		fs := m.Injector.TotalStats()
 		s.FaultsDropped = fs.Dropped

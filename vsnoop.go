@@ -126,11 +126,19 @@ type Config struct {
 	MaxSteps uint64
 
 	// Shards is the number of parallel event-queue shards (0 or 1 =
-	// serial). Results are bit-identical for every value; only wall-clock
-	// time changes. Non-shardable configurations (migration, content
-	// sharing, non-default geometries, ...) silently run serially.
-	// AutoShards resolves a sensible value for the current machine.
+	// single-shard). Results are bit-identical for every value; only
+	// wall-clock time changes. The partition planner cuts the mesh into
+	// snoop domains for every configuration — migration, content sharing,
+	// hypervisor activity, and arbitrary geometries included — and the
+	// engine clamps Shards to the planned domain count. AutoShards
+	// resolves a sensible value for the current machine.
 	Shards int
+
+	// ForceSerial builds the legacy single-queue engine instead of the
+	// partitioned one, whatever Shards says. It exists as the reference
+	// baseline for the scaling benchmarks and identity suites; production
+	// callers should leave it false.
+	ForceSerial bool
 
 	// NoElision forces the fully-barriered windowed synchronization
 	// protocol on sharded runs, disabling adaptive free-running and
@@ -241,15 +249,21 @@ func (cfg Config) Validate() error {
 // Shards and NoElision are deliberately excluded — they choose how many
 // goroutines execute the run and which synchronization protocol they use,
 // both proven bit-identical to serial execution — so a result computed at
-// any shard count serves requests at every other. Every semantic field
+// any shard count serves requests at every other. ForceSerial is included:
+// the legacy engine models cross-domain effects without the partitioned
+// pipeline's ownership-transfer latencies, so its results are a different
+// simulation, not a different execution strategy. Every semantic field
 // (workloads, policies, fault plan, seed, step bounds, checks) is included.
-// The encoding is versioned ("vsnoop-config-v1"); any future change to the
-// encoded fields must bump it so stale stores are never misread.
+// The encoding is versioned ("vsnoop-config-v2"; v2 moved migration,
+// content-sharing, and fault-event configurations onto the partitioned
+// cross-shard semantics, so v1 stores must not serve them); any future
+// change to the encoded fields must bump it so stale stores are never
+// misread.
 func (cfg Config) Hash() string {
 	h := sha256.New()
 	w := func(format string, args ...interface{}) { fmt.Fprintf(h, format, args...) }
 	f64 := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	w("vsnoop-config-v1\n")
+	w("vsnoop-config-v2\n")
 	w("cores=%d\nvms=%d\nvcpusPerVM=%d\n", cfg.Cores, cfg.VMs, cfg.VCPUsPerVM)
 	w("workload=%q\n", cfg.Workload)
 	w("workloadPerVM.len=%d\n", len(cfg.WorkloadPerVM))
@@ -260,6 +274,7 @@ func (cfg Config) Hash() string {
 	w("refsPerVCPU=%d\nwarmupRefs=%d\n", cfg.RefsPerVCPU, cfg.WarmupRefs)
 	w("migrationPeriodMs=%s\ncyclesPerMs=%d\n", f64(cfg.MigrationPeriodMs), cfg.CyclesPerMs)
 	w("contentSharing=%t\nhypervisor=%t\n", cfg.ContentSharing, cfg.Hypervisor)
+	w("forceSerial=%t\n", cfg.ForceSerial)
 	w("checks=%t\nmaxSteps=%d\nseed=%d\n", cfg.Checks, cfg.MaxSteps, cfg.Seed)
 	if p := cfg.Fault; p != nil {
 		w("fault.seed=%d\n", p.Seed)
@@ -340,17 +355,20 @@ func TotalSyncCounters() (windows, elided, waits, widthSum uint64) {
 	return system.TotalSyncStats()
 }
 
-// AutoShards resolves the `-shards auto` CLI setting: min(4, maxProcs)
-// when cfg maps to a shardable system configuration, 1 otherwise. The
-// caller supplies maxProcs (typically runtime.GOMAXPROCS(0) read once at
-// program entry) so simulation packages stay free of wall-clock and
+// AutoShards resolves the `-shards auto` CLI setting through the graph-cut
+// partition planner: min(planned snoop domains, maxProcs) when cfg maps to
+// a partitionable system configuration, 1 otherwise. More workers than
+// domains cannot help (domain d runs on shard d mod K), so the planner's
+// domain count — not a fixed constant — bounds the request. The caller
+// supplies maxProcs (typically runtime.GOMAXPROCS(0) read once at program
+// entry) so simulation packages stay free of wall-clock and
 // machine-environment reads.
 func AutoShards(cfg Config, maxProcs int) int {
 	sc, err := toSystem(cfg)
-	if err != nil || !sc.Shardable() {
+	if err != nil {
 		return 1
 	}
-	k := 4
+	k := sc.PlannedDomains()
 	if maxProcs < k {
 		k = maxProcs
 	}
@@ -358,6 +376,30 @@ func AutoShards(cfg Config, maxProcs int) int {
 		k = 1
 	}
 	return k
+}
+
+// PlannedDomains returns the number of snoop domains the graph-cut
+// partition planner computes for cfg — the parallelism ceiling the engine
+// can exploit (shard counts above it clamp). 1 means the run executes on
+// the serial engine; invalid configurations also report 1.
+func PlannedDomains(cfg Config) int {
+	sc, err := toSystem(cfg)
+	if err != nil {
+		return 1
+	}
+	return sc.PlannedDomains()
+}
+
+// PartitionInfo renders the partition planner's cut for cfg: the domain
+// grid, per-node domain assignment, cut edges, per-domain cross-shard
+// horizons, and whether the run needs synchronized filter state. This is
+// the `-dump-partition` CLI view.
+func PartitionInfo(cfg Config) (string, error) {
+	sc, err := toSystem(cfg)
+	if err != nil {
+		return "", err
+	}
+	return sc.PartitionInfo(), nil
 }
 
 // Run executes one simulation.
@@ -491,6 +533,7 @@ func toSystem(cfg Config) (system.Config, error) {
 	sc.Checks = cfg.Checks
 	sc.MaxSteps = cfg.MaxSteps
 	sc.Shards = cfg.Shards
+	sc.ForceSerial = cfg.ForceSerial
 	sc.NoElision = cfg.NoElision
 	if cfg.Seed != 0 {
 		sc.Seed = cfg.Seed

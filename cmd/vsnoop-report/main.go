@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	maxProcs := runtime.GOMAXPROCS(0)
+	maxProcs := runtime.GOMAXPROCS(0) //lint:wallclock CLI entry reads host parallelism once; it only seeds the shards=auto default, never sim state
 	scaleFlag := flag.String("scale", "quick", "run scale: quick or full")
 	expFlag := flag.String("exp", "all", "experiment to run (comma-separated): all, fig1, fig2, fig3, table1, table4, fig6, fig78, fig9, table5, fig10, table6, ablations, energy, comparison")
 	maxSteps := flag.Uint64("max-steps", 0, "abort any single run after this many simulation events (0 = unbounded)")
@@ -72,7 +72,7 @@ func main() {
 	}
 
 	w := os.Stdout
-	start := time.Now()
+	start := time.Now() //lint:wallclock wall-time trailer on stdout after all tables; golden comparisons stop before it
 	fmt.Fprintf(w, "virtual snooping reproduction — scale=%s\n", sc.Name)
 
 	if sel("fig1") {
@@ -120,7 +120,7 @@ func main() {
 			report.Table6(w, t6)
 		}
 	}
-	wall := time.Since(start)
+	wall := time.Since(start) //lint:wallclock wall-time trailer on stdout after all tables; golden comparisons stop before it
 	ev := vsnoop.TotalEventsFired()
 	fmt.Fprintf(w, "\ncompleted in %s — %d events (%.0f events/sec)\n",
 		wall.Round(time.Millisecond), ev, float64(ev)/wall.Seconds())

@@ -229,7 +229,7 @@ func sumCaches(l2s []*cache.Cache) map[mem.BlockAddr]*holderSum {
 
 func sortedAddrs(m map[mem.BlockAddr]bool) []mem.BlockAddr {
 	out := make([]mem.BlockAddr, 0, len(m))
-	for a := range m { //lint:ordered key harvest only; sorted on the next line
+	for a := range m {
 		out = append(out, a)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

@@ -94,6 +94,13 @@ type Config struct {
 // mem.DenseVM. Destination sets fall out of bitmask arithmetic (mask, or,
 // and-not, popcount) and bits enumerate in ascending core order, which is
 // the deterministic send order the simulator requires.
+//
+// In syncMode partitioned runs each domain owns one replica: a handler may
+// only touch the replica of the domain it executes in, and updates reach
+// the other replicas as ordered cross-shard deltas (Apply* methods ride
+// the deposit path).
+//
+//vsnoop:owned
 type Filter struct {
 	cfg       Config
 	eng       *sim.Engine

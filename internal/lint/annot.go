@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Ownership annotation grammar (doc or trailing comments):
+//
+//	//vsnoop:owned            on a struct type: values are domain-owned —
+//	                          handler code may touch them only when they
+//	                          belong to the executing domain.
+//	//vsnoop:owned table      on a struct field: a cross-domain ownership
+//	                          table (e.g. Machine.doms, Machine.replicas,
+//	                          Machine.cores). The element's owner is a pure
+//	                          function of the index (domain i for per-domain
+//	                          tables, the planner's CoreDom for per-core
+//	                          ones), so indexing with anything not derived
+//	                          from the handler's own inputs — enumerating
+//	                          the table, a constant that is not the
+//	                          statically known executing domain — yields a
+//	                          foreign value.
+//	//vsnoop:owned const      on a struct field: runtime-immutable identity
+//	                          (domain.idx, holderProbe.srcDom). Readable
+//	                          from any domain — it is how deposits compute
+//	                          their destination — but never writable.
+//	//vsnoop:owned ref        on a struct field: a same-domain reference
+//	                          wired once at setup (a core controller's
+//	                          pointer to its own domain's filter replica).
+//	                          Reads stay domain-local by construction.
+//	//vsnoop:handler [dom=N]  on a function: an additional analysis root
+//	                          that runs in handler context; dom=N records
+//	                          the statically known executing domain.
+const (
+	ownedMarker   = "//vsnoop:owned"
+	handlerMarker = "//vsnoop:handler"
+)
+
+// ownership is the module-wide annotation index consumed by domainown.
+type ownership struct {
+	structs map[*types.TypeName]bool // //vsnoop:owned
+	consts  map[*types.Var]bool      // //vsnoop:owned const
+	tables  map[*types.Var]bool      // //vsnoop:owned table
+	refs    map[*types.Var]bool      // //vsnoop:owned ref
+	// handlers maps annotated root functions to their static domain
+	// (domValue many when no dom=N was given).
+	handlers map[*types.Func]domValue
+}
+
+func (o *ownership) empty() bool {
+	return len(o.structs) == 0 && len(o.consts) == 0 && len(o.tables) == 0 && len(o.refs) == 0
+}
+
+// collectOwnership scans every package for the annotation grammar.
+func collectOwnership(mod *Module) *ownership {
+	o := &ownership{
+		structs:  make(map[*types.TypeName]bool),
+		consts:   make(map[*types.Var]bool),
+		tables:   make(map[*types.Var]bool),
+		refs:     make(map[*types.Var]bool),
+		handlers: make(map[*types.Func]domValue),
+	}
+	for _, pkg := range mod.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if ok, dom := handlerAnnotation(d.Doc); ok {
+						if obj, k := pkg.Info.Defs[d.Name].(*types.Func); k {
+							o.handlers[obj] = dom
+						}
+					}
+				case *ast.GenDecl:
+					for _, spec := range d.Specs {
+						ts, ok := spec.(*ast.TypeSpec)
+						if !ok {
+							continue
+						}
+						doc := ts.Doc
+						if doc == nil && len(d.Specs) == 1 {
+							doc = d.Doc
+						}
+						if hasMarker(doc, ownedMarker) {
+							if obj, k := pkg.Info.Defs[ts.Name].(*types.TypeName); k {
+								o.structs[obj] = true
+							}
+						}
+						st, ok := ts.Type.(*ast.StructType)
+						if !ok {
+							continue
+						}
+						for _, fld := range st.Fields.List {
+							kind := fieldOwnedKind(fld)
+							if kind == "" {
+								continue
+							}
+							for _, name := range fld.Names {
+								v, k := pkg.Info.Defs[name].(*types.Var)
+								if !k {
+									continue
+								}
+								switch kind {
+								case "table":
+									o.tables[v] = true
+								case "const":
+									o.consts[v] = true
+								case "ref":
+									o.refs[v] = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return o
+}
+
+// hasMarker reports whether any comment line, trimmed, is exactly the
+// marker (the annotation is the whole line, by convention the last one).
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == marker {
+			return true
+		}
+	}
+	return false
+}
+
+// markerLine returns the trimmed suffix after the marker on the line that
+// starts with it, or "" when absent. "//vsnoop:owned table" -> "table".
+func markerLine(cg *ast.CommentGroup, marker string) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		t := strings.TrimSpace(c.Text)
+		if rest, ok := strings.CutPrefix(t, marker+" "); ok {
+			return strings.TrimSpace(rest)
+		}
+	}
+	return ""
+}
+
+// fieldOwnedKind extracts table/const/ref from a field's doc or trailing
+// comment.
+func fieldOwnedKind(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if k := markerLine(cg, ownedMarker); k == "table" || k == "const" || k == "ref" {
+			return k
+		}
+	}
+	return ""
+}
+
+// handlerAnnotation parses //vsnoop:handler and an optional dom=N.
+func handlerAnnotation(doc *ast.CommentGroup) (bool, domValue) {
+	if doc == nil {
+		return false, domValue{}
+	}
+	for _, c := range doc.List {
+		t := strings.TrimSpace(c.Text)
+		if t == handlerMarker {
+			return true, domMany()
+		}
+		if rest, ok := strings.CutPrefix(t, handlerMarker+" "); ok {
+			for _, f := range strings.Fields(rest) {
+				if ns, ok := strings.CutPrefix(f, "dom="); ok {
+					if n, err := strconv.ParseInt(ns, 10, 64); err == nil {
+						return true, domKnown(n)
+					}
+				}
+			}
+			return true, domMany()
+		}
+	}
+	return false, domValue{}
+}
+
+// ownedType reports whether t (possibly behind pointers) is an annotated
+// domain-owned struct type.
+func (o *ownership) ownedType(t types.Type) bool {
+	for t != nil {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			if o.structs[u.Obj()] {
+				return true
+			}
+			t = u.Underlying()
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// domValue: the static-domain lattice — unset < known(N) < many.
+
+type domValue struct {
+	state uint8 // 0 unset, 1 known, 2 many
+	val   int64
+}
+
+func domKnown(n int64) domValue { return domValue{state: 1, val: n} }
+func domMany() domValue         { return domValue{state: 2} }
+
+func (d domValue) isKnown() bool { return d.state == 1 }
+
+// join widens the receiver by other, reporting change.
+func (d *domValue) join(other domValue) bool {
+	switch {
+	case other.state == 0 || d.state == 2:
+		return false
+	case d.state == 0:
+		*d = other
+		return true
+	case other.state == 2 || (other.state == 1 && other.val != d.val):
+		d.state, d.val = 2, 0
+		return true
+	}
+	return false
+}

@@ -15,10 +15,15 @@ import (
 //   - closure literals that capture variables (each evaluation allocates)
 //   - conversions of non-pointer-shaped concrete values to interfaces
 //     (boxing; pointers, maps, chans, and funcs box for free)
-//   - append outside the amortized self-append idiom x = append(x, ...)
+//   - append outside the amortized self-append idiom x = append(x, ...),
+//     and any append into a slice of interfaces (boxes every element)
 //   - fmt.* calls (interface boxing plus formatting state)
 //   - string concatenation (builds a fresh string)
 //   - map literals and make(map...)
+//   - allocation sites (&T{...}, new(T), &local) whose pointer later
+//     escapes — returned, sent, stored outside a local, or passed to a
+//     call — proven flow-sensitively over the internal/lint/ir CFG
+//     (see hotescape.go)
 //
 // The analyzer checks only the annotated function's own body; callees are
 // annotated (or not) on their own merits. Deliberate allocations — e.g. the
@@ -140,6 +145,10 @@ func checkHotBody(pkg *Package, fd *ast.FuncDecl, report ReportFn) {
 		}
 		return true
 	})
+
+	// Flow-sensitive half: allocation sites whose pointer escapes on a
+	// later line (see hotescape.go).
+	checkHotEscapes(pkg, fd, rep)
 }
 
 func checkHotCall(info *types.Info, rep func(token.Pos, string), call *ast.CallExpr, allowedAppend map[*ast.CallExpr]bool) {
@@ -159,6 +168,17 @@ func checkHotCall(info *types.Info, rep func(token.Pos, string), call *ast.CallE
 		case "append":
 			if !allowedAppend[call] {
 				rep(call.Pos(), "append outside the self-append idiom x = append(x, ...) — preallocate, or waive with //lint:alloc <reason>")
+			}
+			// Appending into a slice of interfaces boxes every element,
+			// self-append idiom or not.
+			if !call.Ellipsis.IsValid() && len(call.Args) > 1 {
+				if t := info.TypeOf(call.Args[0]); t != nil {
+					if sl, ok := t.Underlying().(*types.Slice); ok {
+						for _, a := range call.Args[1:] {
+							checkBoxing(info, rep, sl.Elem(), a)
+						}
+					}
+				}
 			}
 		case "make":
 			if len(call.Args) > 0 {

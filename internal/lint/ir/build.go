@@ -1,0 +1,438 @@
+package ir
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BuildDecl lowers a declared function with a body to IR. Returns nil for
+// bodyless declarations.
+func BuildDecl(info *types.Info, fd *ast.FuncDecl) *Func {
+	if fd.Body == nil {
+		return nil
+	}
+	sig, _ := info.TypeOf(fd.Name).(*types.Signature)
+	fn := newFunc(info, fd.Name.Name, sig, fd)
+	fn.build(fd.Body)
+	return fn
+}
+
+// BuildLit lowers a function literal to IR.
+func BuildLit(info *types.Info, fl *ast.FuncLit) *Func {
+	sig, _ := info.TypeOf(fl).(*types.Signature)
+	fn := newFunc(info, "func literal", sig, fl)
+	fn.build(fl.Body)
+	return fn
+}
+
+func newFunc(info *types.Info, name string, sig *types.Signature, decl ast.Node) *Func {
+	fn := &Func{Name: name, Info: info, Sig: sig, Decl: decl}
+	if sig != nil {
+		if r := sig.Recv(); r != nil {
+			fn.EntryVars = append(fn.EntryVars, r)
+		}
+		for i := 0; i < sig.Params().Len(); i++ {
+			fn.EntryVars = append(fn.EntryVars, sig.Params().At(i))
+		}
+		for i := 0; i < sig.Results().Len(); i++ {
+			if v := sig.Results().At(i); v.Name() != "" {
+				fn.EntryVars = append(fn.EntryVars, v)
+			}
+		}
+	}
+	return fn
+}
+
+// builder state: the block under construction plus the break/continue
+// targets of the enclosing loops and switches.
+type builder struct {
+	fn  *Func
+	cur *Block
+	// frames is the stack of enclosing breakable/continuable constructs.
+	frames []frame
+}
+
+type frame struct {
+	label    string
+	brk, cnt *Block // cnt nil for switches/selects
+}
+
+func (fn *Func) build(body *ast.BlockStmt) {
+	b := &builder{fn: fn}
+	fn.Entry = b.newBlock("entry")
+	fn.Exit = &Block{Index: -1, What: "exit"}
+	b.cur = fn.Entry
+	b.stmt(body)
+	b.jump(b.cur, fn.Exit)
+	fn.Exit.Index = len(fn.Blocks)
+	fn.Blocks = append(fn.Blocks, fn.Exit)
+}
+
+func (b *builder) newBlock(what string) *Block {
+	blk := &Block{Index: len(b.fn.Blocks), What: what}
+	b.fn.Blocks = append(b.fn.Blocks, blk)
+	return blk
+}
+
+func (b *builder) jump(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) emit(ins *Instr) {
+	b.cur.Instrs = append(b.cur.Instrs, ins)
+}
+
+// defIdent resolves an identifier to the local variable it defines or
+// assigns, or nil (blank, field, package-level).
+func (b *builder) defIdent(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	var v *types.Var
+	if d, ok := b.fn.Info.Defs[id].(*types.Var); ok {
+		v = d
+	} else if u, ok := b.fn.Info.Uses[id].(*types.Var); ok {
+		v = u
+	}
+	if v == nil || v.IsField() {
+		return nil
+	}
+	if v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		return nil // package-level writes are not local defs
+	}
+	return v
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range x.List {
+			b.stmt(st)
+		}
+	case *ast.ExprStmt:
+		b.emit(&Instr{Op: OpEval, Pos: x.Pos(), Stmt: x, X: x.X})
+	case *ast.AssignStmt:
+		ins := &Instr{Op: OpAssign, Pos: x.Pos(), Stmt: x, Lhs: x.Lhs, Rhs: x.Rhs, Tok: x.Tok}
+		for _, l := range x.Lhs {
+			if v := b.defIdent(l); v != nil {
+				ins.Defs = append(ins.Defs, v)
+			}
+		}
+		b.emit(ins)
+	case *ast.IncDecStmt:
+		ins := &Instr{Op: OpIncDec, Pos: x.Pos(), Stmt: x, Lhs: []ast.Expr{x.X}, Tok: x.Tok}
+		if v := b.defIdent(x.X); v != nil {
+			ins.Defs = append(ins.Defs, v)
+		}
+		b.emit(ins)
+	case *ast.DeclStmt:
+		gd, ok := x.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return // const/type declarations define no dataflow
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			ins := &Instr{Op: OpDecl, Pos: vs.Pos(), Stmt: x, Rhs: vs.Values}
+			for _, n := range vs.Names {
+				ins.Lhs = append(ins.Lhs, n)
+				if v := b.defIdent(n); v != nil {
+					ins.Defs = append(ins.Defs, v)
+				}
+			}
+			b.emit(ins)
+		}
+	case *ast.ReturnStmt:
+		b.emit(&Instr{Op: OpReturn, Pos: x.Pos(), Stmt: x, Rhs: x.Results})
+		b.jump(b.cur, b.fn.Exit)
+		b.cur = b.newBlock("return.dead")
+	case *ast.SendStmt:
+		b.emit(&Instr{Op: OpSend, Pos: x.Pos(), Stmt: x, X: x.Chan, Rhs: []ast.Expr{x.Value}})
+	case *ast.GoStmt:
+		b.emit(&Instr{Op: OpGo, Pos: x.Pos(), Stmt: x, X: x.Call})
+	case *ast.DeferStmt:
+		b.emit(&Instr{Op: OpDefer, Pos: x.Pos(), Stmt: x, X: x.Call})
+	case *ast.IfStmt:
+		b.ifStmt(x)
+	case *ast.ForStmt:
+		b.forStmt(x, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(x, "")
+	case *ast.SwitchStmt:
+		b.switchStmt(x, "")
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(x, "")
+	case *ast.SelectStmt:
+		b.selectStmt(x, "")
+	case *ast.LabeledStmt:
+		b.labeled(x)
+	case *ast.BranchStmt:
+		b.branch(x)
+	case *ast.EmptyStmt:
+	default:
+		// Unmodeled statements (none in practice) evaluate nothing.
+	}
+}
+
+func (b *builder) ifStmt(x *ast.IfStmt) {
+	b.stmt(x.Init)
+	b.emit(&Instr{Op: OpCond, Pos: x.Cond.Pos(), Stmt: x, X: x.Cond})
+	head := b.cur
+	join := b.newBlock("if.join")
+
+	then := b.newBlock("if.then")
+	b.jump(head, then)
+	b.cur = then
+	b.stmt(x.Body)
+	b.jump(b.cur, join)
+
+	if x.Else != nil {
+		els := b.newBlock("if.else")
+		b.jump(head, els)
+		b.cur = els
+		b.stmt(x.Else)
+		b.jump(b.cur, join)
+	} else {
+		b.jump(head, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) forStmt(x *ast.ForStmt, label string) {
+	b.stmt(x.Init)
+	head := b.newBlock("for.head")
+	b.jump(b.cur, head)
+	b.cur = head
+	if x.Cond != nil {
+		b.emit(&Instr{Op: OpCond, Pos: x.Cond.Pos(), Stmt: x, X: x.Cond})
+	}
+	body := b.newBlock("for.body")
+	join := b.newBlock("for.join")
+	b.jump(head, body)
+	if x.Cond != nil {
+		b.jump(head, join)
+	}
+
+	cnt := head
+	var post *Block
+	if x.Post != nil {
+		post = b.newBlock("for.post")
+		cnt = post
+	}
+	b.frames = append(b.frames, frame{label: label, brk: join, cnt: cnt})
+	b.cur = body
+	b.stmt(x.Body)
+	b.frames = b.frames[:len(b.frames)-1]
+
+	if post != nil {
+		b.jump(b.cur, post)
+		b.cur = post
+		b.stmt(x.Post)
+	}
+	b.jump(b.cur, head)
+	b.cur = join
+}
+
+func (b *builder) rangeStmt(x *ast.RangeStmt, label string) {
+	head := b.newBlock("range.head")
+	b.jump(b.cur, head)
+	ins := &Instr{Op: OpRange, Pos: x.For, Stmt: x, X: x.X, Key: x.Key, Value: x.Value, Tok: x.Tok}
+	for _, e := range []ast.Expr{x.Key, x.Value} {
+		if e == nil {
+			continue
+		}
+		if v := rangeVar(b.fn.Info, e, x.Tok); v != nil {
+			ins.Defs = append(ins.Defs, v)
+		}
+	}
+	head.Instrs = append(head.Instrs, ins)
+
+	body := b.newBlock("range.body")
+	join := b.newBlock("range.join")
+	b.jump(head, body)
+	b.jump(head, join)
+
+	b.frames = append(b.frames, frame{label: label, brk: join, cnt: head})
+	b.cur = body
+	b.stmt(x.Body)
+	b.frames = b.frames[:len(b.frames)-1]
+	b.jump(b.cur, head)
+	b.cur = join
+}
+
+func rangeVar(info *types.Info, e ast.Expr, tok token.Token) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if tok == token.DEFINE {
+		v, _ := info.Defs[id].(*types.Var)
+		return v
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	if v != nil && (v.IsField() || (v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope())) {
+		return nil
+	}
+	return v
+}
+
+func (b *builder) switchStmt(x *ast.SwitchStmt, label string) {
+	b.stmt(x.Init)
+	if x.Tag != nil {
+		b.emit(&Instr{Op: OpEval, Pos: x.Tag.Pos(), Stmt: x, X: x.Tag})
+	}
+	head := b.cur
+	join := b.newBlock("switch.join")
+	b.frames = append(b.frames, frame{label: label, brk: join})
+
+	hasDefault := false
+	for _, c := range x.Body.List {
+		cc := c.(*ast.CaseClause)
+		blk := b.newBlock("switch.case")
+		b.jump(head, blk)
+		b.cur = blk
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			b.emit(&Instr{Op: OpEval, Pos: e.Pos(), X: e})
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.jump(b.cur, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault || len(x.Body.List) == 0 {
+		b.jump(head, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) typeSwitchStmt(x *ast.TypeSwitchStmt, label string) {
+	b.stmt(x.Init)
+	// The operand: either `x.(type)` bare or `v := x.(type)`.
+	var operand ast.Expr
+	switch a := x.Assign.(type) {
+	case *ast.ExprStmt:
+		operand = a.X
+	case *ast.AssignStmt:
+		if len(a.Rhs) == 1 {
+			operand = a.Rhs[0]
+		}
+	}
+	if operand != nil {
+		b.emit(&Instr{Op: OpEval, Pos: operand.Pos(), Stmt: x, X: operand})
+	}
+	head := b.cur
+	join := b.newBlock("typeswitch.join")
+	b.frames = append(b.frames, frame{label: label, brk: join})
+
+	hasDefault := false
+	for _, c := range x.Body.List {
+		cc := c.(*ast.CaseClause)
+		blk := b.newBlock("typeswitch.case")
+		b.jump(head, blk)
+		b.cur = blk
+		if cc.List == nil {
+			hasDefault = true
+		}
+		// The per-clause implicit binding, when the switch names one.
+		if v, ok := b.fn.Info.Implicits[cc].(*types.Var); ok {
+			b.emit(&Instr{Op: OpTypeSwitchBind, Pos: cc.Pos(), Stmt: x, X: operand, Defs: []*types.Var{v}})
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.jump(b.cur, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault || len(x.Body.List) == 0 {
+		b.jump(head, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) selectStmt(x *ast.SelectStmt, label string) {
+	head := b.cur
+	join := b.newBlock("select.join")
+	b.frames = append(b.frames, frame{label: label, brk: join})
+	for _, c := range x.Body.List {
+		cc := c.(*ast.CommClause)
+		blk := b.newBlock("select.case")
+		b.jump(head, blk)
+		b.cur = blk
+		b.stmt(cc.Comm)
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.jump(b.cur, join)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if len(x.Body.List) == 0 {
+		b.jump(head, join)
+	}
+	b.cur = join
+}
+
+func (b *builder) labeled(x *ast.LabeledStmt) {
+	name := x.Label.Name
+	switch s := x.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(s, name)
+	case *ast.RangeStmt:
+		b.rangeStmt(s, name)
+	case *ast.SwitchStmt:
+		b.switchStmt(s, name)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, name)
+	case *ast.SelectStmt:
+		b.selectStmt(s, name)
+	default:
+		// A labeled plain statement: the label is a goto target; the
+		// statement itself executes normally.
+		b.stmt(s)
+	}
+}
+
+func (b *builder) branch(x *ast.BranchStmt) {
+	target := func(cont bool) *Block {
+		for i := len(b.frames) - 1; i >= 0; i-- {
+			f := b.frames[i]
+			if x.Label != nil && f.label != x.Label.Name {
+				continue
+			}
+			if cont {
+				if f.cnt != nil {
+					return f.cnt
+				}
+				continue // continue skips switch/select frames
+			}
+			return f.brk
+		}
+		return nil
+	}
+	switch x.Tok {
+	case token.BREAK:
+		b.jump(b.cur, target(false))
+	case token.CONTINUE:
+		b.jump(b.cur, target(true))
+	case token.GOTO:
+		// No goto in this module; treat as an opaque jump to exit so
+		// downstream facts stay sound for the code that IS analyzed.
+		b.jump(b.cur, b.fn.Exit)
+	case token.FALLTHROUGH:
+		// Conservatively ignored (the next clause is also a successor of
+		// the switch head, so its facts already include this path's join).
+	}
+	b.cur = b.newBlock("branch.dead")
+}

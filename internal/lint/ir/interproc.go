@@ -1,0 +1,124 @@
+package ir
+
+import (
+	"go/types"
+	"sort"
+)
+
+// CallOut is one discovered propagation edge from an analyzed function: a
+// statically resolved callee plus the entry fact the call site implies.
+type CallOut[F any] struct {
+	Callee *types.Func
+	Fact   F
+}
+
+// Interproc is a context-insensitive interprocedural fixpoint engine: each
+// function accumulates one entry fact (the join over every call site and
+// root that reaches it) and is re-analyzed whenever that fact grows. With
+// a finite client lattice the worklist terminates; the result is the final
+// entry fact per reachable function, which the client then replays once
+// for reporting.
+type Interproc[F any] struct {
+	// Build returns the IR of a function, or nil when it has no body in
+	// the module (stdlib, interface methods). Results are memoized here.
+	Build func(*types.Func) *Func
+	// Copy and Join mirror ForwardAnalysis: facts are mutable values.
+	Copy func(F) F
+	Join func(dst, src F) bool
+	// Analyze runs the client's intraprocedural pass over fn under the
+	// given entry fact and returns the outgoing propagation edges.
+	Analyze func(fn *Func, obj *types.Func, entry F) []CallOut[F]
+
+	irCache map[*types.Func]*Func
+	entry   map[*types.Func]F
+}
+
+// AddRoot seeds (or widens) a root function's entry fact.
+func (ip *Interproc[F]) AddRoot(obj *types.Func, fact F) {
+	ip.init()
+	if have, ok := ip.entry[obj]; ok {
+		ip.Join(have, fact)
+		return
+	}
+	ip.entry[obj] = ip.Copy(fact)
+}
+
+func (ip *Interproc[F]) init() {
+	if ip.entry == nil {
+		ip.entry = make(map[*types.Func]F)
+		ip.irCache = make(map[*types.Func]*Func)
+	}
+}
+
+func (ip *Interproc[F]) irOf(obj *types.Func) *Func {
+	if fn, ok := ip.irCache[obj]; ok {
+		return fn
+	}
+	fn := ip.Build(obj)
+	ip.irCache[obj] = fn
+	return fn
+}
+
+// Run drives the worklist to fixpoint and returns the final entry fact of
+// every reached function that has IR in the module.
+func (ip *Interproc[F]) Run() map[*types.Func]F {
+	ip.init()
+	work := make([]*types.Func, 0, len(ip.entry))
+	queued := make(map[*types.Func]bool, len(ip.entry))
+	for obj := range ip.entry {
+		work = append(work, obj)
+		queued[obj] = true
+	}
+	// Deterministic worklist order: findings and fact evolution must not
+	// depend on map iteration.
+	sort.Slice(work, func(i, j int) bool { return funcKey(work[i]) < funcKey(work[j]) })
+
+	for len(work) > 0 {
+		obj := work[0]
+		work = work[1:]
+		queued[obj] = false
+
+		fn := ip.irOf(obj)
+		if fn == nil {
+			continue
+		}
+		outs := ip.Analyze(fn, obj, ip.Copy(ip.entry[obj]))
+		sort.SliceStable(outs, func(i, j int) bool { return funcKey(outs[i].Callee) < funcKey(outs[j].Callee) })
+		for _, out := range outs {
+			if out.Callee == nil {
+				continue
+			}
+			have, ok := ip.entry[out.Callee]
+			if !ok {
+				ip.entry[out.Callee] = ip.Copy(out.Fact)
+			} else if !ip.Join(have, out.Fact) {
+				continue
+			}
+			if !queued[out.Callee] {
+				queued[out.Callee] = true
+				work = append(work, out.Callee)
+			}
+		}
+	}
+
+	final := make(map[*types.Func]F, len(ip.entry))
+	for obj, f := range ip.entry {
+		if ip.irOf(obj) != nil {
+			final[obj] = f
+		}
+	}
+	return final
+}
+
+// IR returns the memoized IR of obj after Run (nil if bodyless).
+func (ip *Interproc[F]) IR(obj *types.Func) *Func {
+	ip.init()
+	return ip.irOf(obj)
+}
+
+func funcKey(f *types.Func) string {
+	if f == nil {
+		return ""
+	}
+	return f.FullName()
+}

@@ -1,0 +1,531 @@
+package ir
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// src is one self-contained, import-free program exercising every CFG
+// construct the builder lowers: branch joins, loop back-edges, switch and
+// type-switch fan-out, select, labeled break/continue, goto, assignment-form
+// range variables, closures, and a small call graph for the
+// interprocedural engine (ext is deliberately bodyless).
+const src = `package irtest
+
+var global int
+
+func du(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	y := x
+	return y
+}
+
+func loop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+
+func sw(n int) string {
+	out := ""
+	switch n {
+	case 0:
+		out = "zero"
+		fallthrough
+	case 1:
+		out = out + "one"
+		break
+	default:
+		out = "many"
+	}
+	return out
+}
+
+func ts(x interface{}) int {
+	switch v := x.(type) {
+	case int:
+		return v
+	case string:
+		return len(v)
+	default:
+		_ = v
+		return 0
+	}
+}
+
+func sel(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case b <- 1:
+		return 1
+	}
+}
+
+func lab(xs [][]int) int {
+	n := 0
+outer:
+	for _, row := range xs {
+		for _, v := range row {
+			if v < 0 {
+				continue outer
+			}
+			if v == 99 {
+				break outer
+			}
+			n += v
+		}
+	}
+	return n
+}
+
+func hop(n int) int {
+	if n > 0 {
+		goto done
+	}
+	n++
+done:
+	return n
+}
+
+func rv(m []int) (int, int) {
+	var k, v int
+	for k, v = range m {
+		_ = k
+	}
+	return k, v
+}
+
+func fv(p int) func() int {
+	q := 2
+	f := func() int { return p + q + global }
+	return f
+}
+
+func ext()
+
+func rootA(n int) { shared(n) }
+
+func rootB(n int) { shared(n + 1) }
+
+func shared(n int) {
+	ext()
+	leaf(n)
+}
+
+func leaf(n int) { _ = n }
+`
+
+// compile type-checks the test program and returns its file and type info.
+func compile(t *testing.T) (*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "irtest.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	if _, err := (&types.Config{}).Check("irtest", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return f, info
+}
+
+func funcDecl(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("test program lost function %s", name)
+	return nil
+}
+
+func buildNamed(t *testing.T, f *ast.File, info *types.Info, name string) *Func {
+	t.Helper()
+	fn := BuildDecl(info, funcDecl(t, f, name))
+	if fn == nil {
+		t.Fatalf("BuildDecl(%s) = nil", name)
+	}
+	return fn
+}
+
+func hasBlock(bs []*Block, b *Block) bool {
+	for _, x := range bs {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// checkWellFormed verifies the CFG invariants every analysis relies on:
+// entry and exit are in Blocks, succ/pred edges mirror each other, and the
+// synthetic exit has no successors.
+func checkWellFormed(t *testing.T, fn *Func) {
+	t.Helper()
+	member := make(map[*Block]bool, len(fn.Blocks))
+	for _, b := range fn.Blocks {
+		member[b] = true
+	}
+	if !member[fn.Entry] {
+		t.Errorf("%s: entry block not in Blocks", fn.Name)
+	}
+	if !member[fn.Exit] {
+		t.Errorf("%s: exit block not in Blocks", fn.Name)
+	}
+	if len(fn.Exit.Succs) != 0 {
+		t.Errorf("%s: exit block has successors", fn.Name)
+	}
+	for _, b := range fn.Blocks {
+		for _, s := range b.Succs {
+			if !member[s] {
+				t.Errorf("%s: %s has an out-of-graph successor", fn.Name, b.What)
+			}
+			if !hasBlock(s.Preds, b) {
+				t.Errorf("%s: edge %s -> %s missing its pred link", fn.Name, b.What, s.What)
+			}
+		}
+		for _, p := range b.Preds {
+			if !hasBlock(p.Succs, b) {
+				t.Errorf("%s: pred link %s <- %s missing its succ edge", fn.Name, b.What, p.What)
+			}
+		}
+	}
+}
+
+func countWhat(fn *Func, what string) int {
+	n := 0
+	for _, b := range fn.Blocks {
+		if b.What == what {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCFGConstructs lowers every statement form and checks the resulting
+// graphs are well-formed with the expected shapes.
+func TestCFGConstructs(t *testing.T) {
+	f, info := compile(t)
+	for _, name := range []string{"du", "loop", "sw", "ts", "sel", "lab", "hop", "rv", "fv"} {
+		fn := buildNamed(t, f, info, name)
+		checkWellFormed(t, fn)
+	}
+
+	if got := countWhat(buildNamed(t, f, info, "sw"), "switch.case"); got != 3 {
+		t.Errorf("sw: %d switch.case blocks, want 3", got)
+	}
+	if got := countWhat(buildNamed(t, f, info, "ts"), "typeswitch.case"); got != 3 {
+		t.Errorf("ts: %d typeswitch.case blocks, want 3", got)
+	}
+	if got := countWhat(buildNamed(t, f, info, "sel"), "select.case"); got != 2 {
+		t.Errorf("sel: %d select.case blocks, want 2", got)
+	}
+	if got := countWhat(buildNamed(t, f, info, "lab"), "range.head"); got != 2 {
+		t.Errorf("lab: %d range.head blocks, want 2", got)
+	}
+
+	// goto lowers to an opaque edge to exit, so exit collects both the goto
+	// block and the labeled return.
+	if hop := buildNamed(t, f, info, "hop"); len(hop.Exit.Preds) < 2 {
+		t.Errorf("hop: exit has %d preds, want the goto edge and the return", len(hop.Exit.Preds))
+	}
+}
+
+// TestTypeSwitchBindings checks each clause of `switch v := x.(type)` gets
+// its own OpTypeSwitchBind defining a distinct per-clause variable.
+func TestTypeSwitchBindings(t *testing.T) {
+	f, info := compile(t)
+	fn := buildNamed(t, f, info, "ts")
+
+	seen := map[*types.Var]bool{}
+	binds := 0
+	for _, b := range fn.Blocks {
+		for _, ins := range b.Instrs {
+			if ins.Op != OpTypeSwitchBind {
+				continue
+			}
+			binds++
+			if len(ins.Defs) != 1 || ins.Defs[0] == nil {
+				t.Errorf("bind at %v defines %d vars, want 1", ins.Pos, len(ins.Defs))
+				continue
+			}
+			if seen[ins.Defs[0]] {
+				t.Error("two clauses share one implicit variable")
+			}
+			seen[ins.Defs[0]] = true
+			if ins.X == nil {
+				t.Error("bind lost its switch operand")
+			}
+		}
+	}
+	if binds != 3 {
+		t.Errorf("%d OpTypeSwitchBind instructions, want 3 (one per clause)", binds)
+	}
+}
+
+// TestRangeAssignVars checks the assignment-form range loop
+// (`for k, v = range m` over pre-declared variables) still records both
+// loop variables as definitions of the range head.
+func TestRangeAssignVars(t *testing.T) {
+	f, info := compile(t)
+	fn := buildNamed(t, f, info, "rv")
+
+	for _, b := range fn.Blocks {
+		for _, ins := range b.Instrs {
+			if ins.Op != OpRange {
+				continue
+			}
+			if len(ins.Defs) != 2 {
+				t.Fatalf("range head defines %d vars, want k and v", len(ins.Defs))
+			}
+			return
+		}
+	}
+	t.Fatal("rv lost its OpRange instruction")
+}
+
+// findUse locates the use identifier named name on the RHS of the
+// statement assigning to lhs (or in the return when lhs is "").
+func findUse(t *testing.T, fd *ast.FuncDecl, lhs, name string) *ast.Ident {
+	t.Helper()
+	var found *ast.Ident
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			if lhs == "" {
+				return true
+			}
+			if id, ok := s.Lhs[0].(*ast.Ident); !ok || id.Name != lhs {
+				return true
+			}
+			if id, ok := s.Rhs[0].(*ast.Ident); ok && id.Name == name {
+				found = id
+			}
+		case *ast.ReturnStmt:
+			if lhs != "" {
+				return true
+			}
+			for _, r := range s.Results {
+				if id, ok := r.(*ast.Ident); ok && id.Name == name {
+					found = id
+				}
+			}
+		}
+		return true
+	})
+	if found == nil {
+		t.Fatalf("no use of %s (lhs %q) in %s", name, lhs, fd.Name.Name)
+	}
+	return found
+}
+
+// TestDefUse checks reaching definitions through joins and loop
+// back-edges, and that parameter uses resolve to the entry definition.
+func TestDefUse(t *testing.T) {
+	f, info := compile(t)
+
+	// du: both arms of the if reach `y := x`.
+	duFn := buildNamed(t, f, info, "du")
+	chains := duFn.BuildDefUse()
+	if defs := chains.Defs(findUse(t, funcDecl(t, f, "du"), "y", "x")); len(defs) != 2 {
+		t.Errorf("x at the join has %d reaching defs, want 2 (x := 1 and x = 2)", len(defs))
+	}
+
+	// The condition reads the parameter: exactly the entry definition.
+	var cond *ast.Ident
+	ast.Inspect(funcDecl(t, f, "du").Body, func(n ast.Node) bool {
+		if s, ok := n.(*ast.IfStmt); ok {
+			cond, _ = s.Cond.(*ast.Ident)
+		}
+		return true
+	})
+	defs := chains.Defs(cond)
+	if len(defs) != 1 || !EntryDef(defs[0]) {
+		t.Errorf("parameter use: got %d defs (entry=%v), want the single entry def",
+			len(defs), len(defs) == 1 && EntryDef(defs[0]))
+	}
+
+	// loop: the returned s sees both the initialization and the loop-carried
+	// update; i inside the body sees its init and the post-statement ++.
+	loopFn := buildNamed(t, f, info, "loop")
+	loopChains := loopFn.BuildDefUse()
+	if defs := loopChains.Defs(findUse(t, funcDecl(t, f, "loop"), "", "s")); len(defs) != 2 {
+		t.Errorf("returned s has %d reaching defs, want 2 (init and loop body)", len(defs))
+	}
+	if defs := loopChains.Defs(findUse(t, funcDecl(t, f, "loop"), "s", "i")); len(defs) != 2 {
+		t.Errorf("i in the body has %d reaching defs, want 2 (init and i++)", len(defs))
+	}
+}
+
+// TestFreeVar checks capture detection: the literal in fv captures the
+// enclosing parameter and local but not the package-level variable, and
+// from the declaring function's own IR nothing is free.
+func TestFreeVar(t *testing.T) {
+	f, info := compile(t)
+	fd := funcDecl(t, f, "fv")
+
+	var lit *ast.FuncLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if l, ok := n.(*ast.FuncLit); ok {
+			lit = l
+		}
+		return true
+	})
+	if lit == nil {
+		t.Fatal("fv lost its function literal")
+	}
+	litFn := BuildLit(info, lit)
+
+	varNamed := func(name string) *types.Var {
+		var out *types.Var
+		for id, obj := range info.Defs {
+			if v, ok := obj.(*types.Var); ok && id.Name == name {
+				out = v
+			}
+		}
+		if out == nil {
+			t.Fatalf("test program lost variable %s", name)
+		}
+		return out
+	}
+	p, q, g := varNamed("p"), varNamed("q"), varNamed("global")
+
+	if !litFn.FreeVar(p) || !litFn.FreeVar(q) {
+		t.Errorf("literal: FreeVar(p)=%v FreeVar(q)=%v, want both captured", litFn.FreeVar(p), litFn.FreeVar(q))
+	}
+	if litFn.FreeVar(g) {
+		t.Error("package-level global must not count as a captured free variable")
+	}
+
+	declFn := BuildDecl(info, fd)
+	if declFn.FreeVar(p) || declFn.FreeVar(q) || declFn.FreeVar(g) {
+		t.Error("nothing is free in the declaring function's own IR")
+	}
+	if nil == declFn || len(declFn.LocalDefs()) == 0 {
+		t.Error("fv declares locals; LocalDefs must list them")
+	}
+}
+
+// TestInterproc drives the interprocedural engine over the rootA/rootB →
+// shared → leaf diamond: facts from both roots join at shared and flow to
+// leaf, the bodyless ext is analyzed-through without appearing in the
+// result, and root widening re-queues.
+func TestInterproc(t *testing.T) {
+	f, info := compile(t)
+
+	decls := map[*types.Func]*ast.FuncDecl{}
+	byName := map[string]*types.Func{}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if obj, ok := info.Defs[fd.Name].(*types.Func); ok {
+			decls[obj] = fd
+			byName[fd.Name.Name] = obj
+		}
+	}
+
+	type fact = map[string]bool
+	ip := &Interproc[fact]{
+		Build: func(o *types.Func) *Func {
+			if fd := decls[o]; fd != nil {
+				return BuildDecl(info, fd)
+			}
+			return nil
+		},
+		Copy: func(f fact) fact {
+			g := make(fact, len(f))
+			for k := range f {
+				g[k] = true
+			}
+			return g
+		},
+		Join: func(dst, src fact) bool {
+			changed := false
+			for k := range src {
+				if !dst[k] {
+					dst[k] = true
+					changed = true
+				}
+			}
+			return changed
+		},
+		Analyze: func(fn *Func, obj *types.Func, entry fact) []CallOut[fact] {
+			var outs []CallOut[fact]
+			for _, b := range fn.Blocks {
+				for _, ins := range b.Instrs {
+					ins.Exprs(func(e ast.Expr) {
+						ast.Inspect(e, func(n ast.Node) bool {
+							call, ok := n.(*ast.CallExpr)
+							if !ok {
+								return true
+							}
+							id, ok := call.Fun.(*ast.Ident)
+							if !ok {
+								return true
+							}
+							callee, ok := info.Uses[id].(*types.Func)
+							if !ok {
+								return true
+							}
+							out := make(fact, len(entry)+1)
+							for k := range entry {
+								out[k] = true
+							}
+							out["via:"+obj.Name()] = true
+							outs = append(outs, CallOut[fact]{Callee: callee, Fact: out})
+							return true
+						})
+					})
+				}
+			}
+			return outs
+		},
+	}
+
+	ip.AddRoot(byName["rootA"], fact{"A": true})
+	ip.AddRoot(byName["rootB"], fact{"B": true})
+	ip.AddRoot(byName["rootA"], fact{"A2": true}) // widen an existing root
+	final := ip.Run()
+
+	shared := final[byName["shared"]]
+	for _, k := range []string{"A", "A2", "B", "via:rootA", "via:rootB"} {
+		if !shared[k] {
+			t.Errorf("shared's entry fact lost %q: %v", k, shared)
+		}
+	}
+	leaf := final[byName["leaf"]]
+	for _, k := range []string{"A", "B", "via:shared"} {
+		if !leaf[k] {
+			t.Errorf("leaf's entry fact lost %q: %v", k, leaf)
+		}
+	}
+	if _, ok := final[byName["ext"]]; ok {
+		t.Error("bodyless ext must be dropped from the final fact map")
+	}
+	if ip.IR(byName["shared"]) == nil {
+		t.Error("IR(shared) must return the memoized body")
+	}
+	if ip.IR(byName["ext"]) != nil {
+		t.Error("IR(ext) must be nil for a bodyless declaration")
+	}
+}

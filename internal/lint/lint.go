@@ -24,6 +24,19 @@
 //     packages to the fields of internal/sim's synchronization structs
 //     (barrier, shardSlot, mailbox, ShardedEngine) — the PR-5 adaptive
 //     protocol's EOT words, mailbox locks, and termination counters.
+//   - Domain confinement — the paper's isolation invariant, lifted to the
+//     code: state annotated //vsnoop:owned (filter replicas, COW overlays,
+//     RegionScout shards, directory homes) belongs to one domain, and the
+//     domainown analyzer proves, flow-sensitively over the internal/lint/ir
+//     dataflow IR, that every handler-reachable access path to owned state
+//     stays within the owning domain or crosses through the internal/sim
+//     deposit API (Engine.ScheduleFnAtDom). See annot.go for the annotation
+//     grammar and DESIGN.md §14 for the proof argument.
+//
+// The shardsafe and hotalloc analyzers also run flow-sensitive passes over
+// the same IR: shard isolation catches writes to package-level state routed
+// through local pointer aliases, and the hot-path rules catch interface
+// boxing and heap escapes a syntax walk cannot see.
 //
 // Findings are suppressed only by an explicit waiver comment with a
 // mandatory reason, placed on the offending line or the line above:
@@ -31,8 +44,10 @@
 //	//lint:<key> <reason>
 //
 // where <key> is the analyzer's waiver key (ordered, wallclock, alloc,
-// shardsafe). A waiver without a reason is itself a finding and fails the
-// build — waivers document judgment calls, they do not hide them.
+// shardsafe, owned). A waiver without a reason is itself a finding and
+// fails the build, and so is a stale waiver — one whose analyzer ran but
+// that suppressed nothing — so waivers document live judgment calls; they
+// neither hide problems nor outlive them.
 package lint
 
 import (
@@ -70,7 +85,7 @@ type Analyzer struct {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{mapRangeAnalyzer, wallClockAnalyzer, hotAllocAnalyzer, shardSafeAnalyzer}
+	return []*Analyzer{mapRangeAnalyzer, wallClockAnalyzer, hotAllocAnalyzer, shardSafeAnalyzer, domainOwnAnalyzer}
 }
 
 // CriticalDirs are the sim-critical package directories (relative to the
@@ -101,8 +116,16 @@ func DefaultCritical(modPath string) func(pkgPath string) bool {
 // "same config hash ⇒ same stored bytes", which only holds if the code
 // around the simulator is as deterministic as the simulator itself — while
 // its worker pool, singleflight, and metrics are exactly the kind of
-// concurrency shardsafe exists to forbid in sim code.
-var DeterministicDirs = []string{"internal/serve"}
+// concurrency shardsafe exists to forbid in sim code. The runner (worker
+// pool around whole simulations) and the three mains (vsnoop-sim,
+// vsnoop-sweep, vsnoop-report) are here too: they assemble configs, shard
+// plans, and reports whose bytes feed the golden files and the serve tier's
+// content-addressed memoization, so map-order or clock dependence in them
+// corrupts exactly the artifacts the sim's determinism story certifies.
+var DeterministicDirs = []string{
+	"internal/serve", "internal/runner",
+	"cmd/vsnoop-sim", "cmd/vsnoop-sweep", "cmd/vsnoop-report",
+}
 
 // DefaultDeterministic returns the deterministic-only predicate for a
 // module, mirroring DefaultCritical over DeterministicDirs.
@@ -161,10 +184,12 @@ func Run(mod *Module, opts Options) []Finding {
 	ws := collectWaivers(mod)
 
 	var out []Finding
+	ranKey := make(map[string]bool)
 	for _, a := range Analyzers() {
 		if !opts.runs(a.Name) {
 			continue
 		}
+		ranKey[a.WaiverKey] = true
 		a := a
 		a.Run(mod, opts, func(pkg *Package, pos token.Pos, msg string) {
 			if !opts.Selected(pkg.Path) {
@@ -181,7 +206,8 @@ func Run(mod *Module, opts Options) []Finding {
 			})
 		})
 	}
-	for _, pr := range ws.problems {
+	problems := append(ws.problems, ws.stale(func(key string) bool { return ranKey[key] })...)
+	for _, pr := range problems {
 		if !opts.Selected(pr.pkg) {
 			continue
 		}

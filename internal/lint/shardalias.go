@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"vsnoop/internal/lint/ir"
+)
+
+// The alias pass is the flow-sensitive half of shardsafe: the syntax walk
+// flags writes whose target chain bottoms out at a package-level variable,
+// but a handler can launder the same write through a local —
+//
+//	p := &sharedTable
+//	p.rows[i] = v // mutates package state; the syntax walk sees only p
+//
+// The pass runs over the internal/lint/ir CFG of every handler-reachable
+// body, tracking for each local the set of package-level variables whose
+// storage it may reference. Aliases are born from address-taking (&g,
+// &g.field, &g[i]), from reading a pointer-shaped package-level value
+// (a package-level pointer, slice, or map is shared storage whichever
+// local it is copied into), and from ranging over such a value with
+// pointer-shaped elements. They propagate through plain copies and
+// selector/index/deref chains, join by union at control-flow merges, and
+// die on reassignment. A write whose base local carries a non-empty alias
+// set is the same finding as the direct write, with the laundering local
+// named.
+//
+// Nested function literals are analyzed at their creation point with the
+// alias fact holding there: a closure captures its environment by
+// reference, so aliases live on inside it. Aliases returned from calls or
+// smuggled through struct fields are not tracked — a documented soundness
+// limit shared with the call-graph walk's treatment of dynamic dispatch.
+
+// aliasFact maps each local variable to the package-level variables whose
+// storage it may reference. Absent means "no known alias".
+type aliasFact map[*types.Var]map[*types.Var]bool
+
+func copyAliasFact(f aliasFact) aliasFact {
+	g := make(aliasFact, len(f))
+	for v, set := range f {
+		s := make(map[*types.Var]bool, len(set))
+		for p := range set {
+			s[p] = true
+		}
+		g[v] = s
+	}
+	return g
+}
+
+func aliasAnalysis(info *types.Info, entry aliasFact) ir.ForwardAnalysis[aliasFact] {
+	return ir.ForwardAnalysis[aliasFact]{
+		Entry:  func(fn *ir.Func) aliasFact { return copyAliasFact(entry) },
+		Bottom: func() aliasFact { return make(aliasFact) },
+		Copy:   copyAliasFact,
+		Join: func(dst, src aliasFact) bool {
+			changed := false
+			for v, set := range src {
+				d := dst[v]
+				if d == nil {
+					d = make(map[*types.Var]bool, len(set))
+					dst[v] = d
+				}
+				for p := range set {
+					if !d[p] {
+						d[p] = true
+						changed = true
+					}
+				}
+			}
+			return changed
+		},
+		Transfer: func(f aliasFact, ins *ir.Instr) { aliasTransfer(info, f, ins) },
+	}
+}
+
+func aliasTransfer(info *types.Info, f aliasFact, ins *ir.Instr) {
+	for _, v := range ins.Defs {
+		delete(f, v) // kill; the gen below re-adds surviving aliases
+	}
+	switch ins.Op {
+	case ir.OpAssign, ir.OpDecl:
+		if len(ins.Lhs) != len(ins.Rhs) {
+			return // tuple assignment from a call: killed above, nothing gen'd
+		}
+		for i, lhs := range ins.Lhs {
+			v := localVar(info, unparen(lhs))
+			if v == nil {
+				continue
+			}
+			if s := exprAliases(info, f, ins.Rhs[i]); len(s) > 0 {
+				f[v] = s
+			}
+		}
+	case ir.OpRange:
+		// for _, e := range g — with pointer-shaped elements, e references
+		// storage reachable from whatever the range operand aliases.
+		if ins.Value == nil {
+			return
+		}
+		v := localVar(info, unparen(ins.Value))
+		if v == nil || !ptrShaped(info.TypeOf(ins.Value)) {
+			return
+		}
+		if s := baseAliases(info, f, ins.X); len(s) > 0 {
+			f[v] = s
+		}
+	}
+}
+
+// exprAliases computes the package-level variables the value of e may
+// reference: &chain (whatever the chain's base aliases), or a
+// pointer-shaped read whose base chain reaches a package-level variable or
+// an already-aliasing local.
+func exprAliases(info *types.Info, f aliasFact, e ast.Expr) map[*types.Var]bool {
+	switch x := unparen(e).(type) {
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return baseAliases(info, f, x.X)
+		}
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		if ptrShaped(info.TypeOf(e)) {
+			return baseAliases(info, f, e)
+		}
+	}
+	return nil
+}
+
+// baseAliases unwraps selector/index/deref chains to the base identifier
+// and returns the alias set: the variable itself when package-level, its
+// tracked set when a local.
+func baseAliases(info *types.Info, f aliasFact, e ast.Expr) map[*types.Var]bool {
+	for {
+		switch x := unparen(e).(type) {
+		case *ast.SelectorExpr:
+			// A qualified reference pkg.Var is a base, not a field access.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					e = x.Sel
+					continue
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if v, ok := info.Uses[x].(*types.Var); ok {
+				if isPackageLevel(v) {
+					return map[*types.Var]bool{v: true}
+				}
+				if set := f[v]; len(set) > 0 {
+					s := make(map[*types.Var]bool, len(set))
+					for p := range set {
+						s[p] = true
+					}
+					return s
+				}
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// ptrShaped reports whether values of t share storage when copied:
+// pointers, slices, and maps. (Channels are caught by the channel rules;
+// funcs carry no writable state.)
+func ptrShaped(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+// scanAliases runs the alias pass over one handler-reachable body and
+// recurses into nested (non-rooted) function literals with the alias fact
+// holding at their creation point.
+func scanAliases(pkg *Package, fn *ir.Func, entry aliasFact, flag func(token.Pos, string), rooted map[*ast.FuncLit]bool) {
+	if fn == nil {
+		return
+	}
+	info := pkg.Info
+	a := aliasAnalysis(info, entry)
+	in := ir.Forward(fn, a)
+	ir.Replay(fn, a, in, func(fact aliasFact, ins *ir.Instr) {
+		ins.Exprs(func(e ast.Expr) {
+			ast.Inspect(e, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					if !rooted[fl] {
+						scanAliases(pkg, ir.BuildLit(info, fl), copyAliasFact(fact), flag, rooted)
+					}
+					return false
+				}
+				return true
+			})
+		})
+		switch ins.Op {
+		case ir.OpAssign, ir.OpIncDec:
+			for _, lhs := range ins.Lhs {
+				checkAliasWrite(info, fact, lhs, flag)
+			}
+		}
+	})
+}
+
+// checkAliasWrite flags a write whose target chain bottoms out at a local
+// that aliases package-level storage. Direct writes (base is itself
+// package-level) belong to the syntax walk and are skipped here.
+func checkAliasWrite(info *types.Info, fact aliasFact, lhs ast.Expr, flag func(token.Pos, string)) {
+	if packageLevelTarget(info, lhs) != nil {
+		return
+	}
+	e := unparen(lhs)
+	wrapped := false
+	for done := false; !done; {
+		switch x := e.(type) {
+		case *ast.StarExpr:
+			e, wrapped = unparen(x.X), true
+		case *ast.IndexExpr:
+			e, wrapped = unparen(x.X), true
+		case *ast.SelectorExpr:
+			e, wrapped = unparen(x.X), true
+		default:
+			done = true
+		}
+	}
+	if !wrapped {
+		return // plain rebinding of the local, not a write through it
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return
+	}
+	v := localVar(info, id)
+	if v == nil {
+		return
+	}
+	set := fact[v]
+	if len(set) == 0 {
+		return
+	}
+	names := make([]string, 0, len(set))
+	for p := range set {
+		names = append(names, p.Name())
+	}
+	sort.Strings(names)
+	flag(lhs.Pos(), "writes package-level variable "+strings.Join(names, ", ")+
+		" through local alias "+id.Name)
+}

@@ -5,6 +5,8 @@ import (
 	"go/token"
 	"go/types"
 	"strings"
+
+	"vsnoop/internal/lint/ir"
 )
 
 // shardSafeAnalyzer guards the PR-3 conservative-PDES contract: event
@@ -23,7 +25,10 @@ import (
 //  3. flags, in every reachable function outside internal/sim, the
 //     constructs that bypass the mailbox: goroutine launches, channel
 //     operations (send, receive, close, select, range-over-channel), and
-//     writes to package-level variables.
+//     writes to package-level variables — including writes laundered
+//     through local pointer aliases (p := &shared; p.f = v), which a
+//     flow-sensitive pass over the internal/lint/ir CFG resolves back to
+//     the package-level storage they mutate (see shardalias.go).
 //
 // internal/sim itself is exempt — it IS the mailbox implementation and
 // its internal synchronization (barriers, runner goroutines) is the
@@ -66,11 +71,13 @@ var schedulerFuncs = map[string]bool{
 }
 
 // shardWork is one node of the reachability walk: a function body plus the
-// package whose types.Info describes it.
+// package whose types.Info describes it. node is the *ast.FuncDecl or
+// *ast.FuncLit, for building the body's IR.
 type shardWork struct {
 	pkg  *Package
 	name string
 	body *ast.BlockStmt
+	node ast.Node
 }
 
 func runShardSafe(mod *Module, opts Options, report ReportFn) {
@@ -110,7 +117,7 @@ func runShardSafe(mod *Module, opts Options, report ReportFn) {
 			return
 		}
 		seenFunc[obj] = true
-		queue = append(queue, shardWork{site.pkg, obj.Name(), site.fd.Body})
+		queue = append(queue, shardWork{site.pkg, obj.Name(), site.fd.Body, site.fd})
 	}
 	enqueueExpr := func(pkg *Package, e ast.Expr) {
 		switch x := unparen(e).(type) {
@@ -118,7 +125,7 @@ func runShardSafe(mod *Module, opts Options, report ReportFn) {
 			if pkg.Path != simPath && !seenLit[x] {
 				seenLit[x] = true
 				rootedUnder[x] = true
-				queue = append(queue, shardWork{pkg, "func literal", x.Body})
+				queue = append(queue, shardWork{pkg, "func literal", x.Body, x})
 			}
 		case *ast.Ident:
 			if obj, ok := pkg.Info.Uses[x].(*types.Func); ok {
@@ -225,6 +232,15 @@ func runShardSafe(mod *Module, opts Options, report ReportFn) {
 			}
 			return true
 		})
+		// Flow-sensitive half: the same write rule through local aliases.
+		var fnIR *ir.Func
+		switch d := w.node.(type) {
+		case *ast.FuncDecl:
+			fnIR = ir.BuildDecl(info, d)
+		case *ast.FuncLit:
+			fnIR = ir.BuildLit(info, d)
+		}
+		scanAliases(w.pkg, fnIR, nil, flag, rootedUnder)
 	}
 }
 

@@ -236,7 +236,7 @@ func (m *Manager) TypeOf(p HostPage) PageType { return m.hostType[p] }
 // shards, and host-page numbering must not depend on shard interleaving.
 func (m *Manager) PreallocateAll() {
 	vms := make([]VMID, 0, len(m.spaces))
-	for vm := range m.spaces { //lint:ordered key harvest only; vms is sorted before any allocation happens
+	for vm := range m.spaces {
 		vms = append(vms, vm)
 	}
 	sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
@@ -267,7 +267,7 @@ func CowKey(vm VMID, gp GuestPage) uint64 { return uint64(vm)<<32 | uint64(gp) }
 func (m *Manager) PrepareCowTargets() map[uint64]HostPage {
 	targets := make(map[uint64]HostPage)
 	vms := make([]VMID, 0, len(m.spaces))
-	for vm := range m.spaces { //lint:ordered key harvest only; vms is sorted before any allocation happens
+	for vm := range m.spaces {
 		vms = append(vms, vm)
 	}
 	sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
@@ -299,7 +299,7 @@ func (m *Manager) SetContent(vm VMID, gp GuestPage, c ContentID) {
 func (m *Manager) MergeIdentical() int {
 	redirected := 0
 	vms := make([]VMID, 0, len(m.spaces))
-	for vm := range m.spaces { //lint:ordered key harvest only; vms is sorted before merging, so canonical-page choice is order-free
+	for vm := range m.spaces {
 		vms = append(vms, vm)
 	}
 	sort.Slice(vms, func(i, j int) bool { return vms[i] < vms[j] })
@@ -387,7 +387,7 @@ func (m *Manager) ShareRW(vm VMID, gp GuestPage, existing HostPage, reuse bool) 
 func (m *Manager) ROSharers(p HostPage) []VMID {
 	set := m.roSharers[p]
 	out := make([]VMID, 0, len(set))
-	for vm := range set { //lint:ordered key harvest only; sorted below before returning
+	for vm := range set {
 		out = append(out, vm)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })

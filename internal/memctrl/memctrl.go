@@ -110,7 +110,7 @@ func (m *Ctrl) Peek(a mem.BlockAddr) (tokens int, owner, present bool) {
 // the sort cost does not matter and callers get determinism for free.
 func (m *Ctrl) ForEachLine(fn func(a mem.BlockAddr, tokens int, owner bool)) {
 	addrs := make([]mem.BlockAddr, 0, len(m.lines))
-	for a := range m.lines { //lint:ordered key harvest only; sorted on the next line
+	for a := range m.lines {
 		addrs = append(addrs, a)
 	}
 	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })

@@ -53,6 +53,8 @@ type Stats struct {
 }
 
 // nsrt is a small LRU table of not-shared regions.
+//
+//vsnoop:owned
 type nsrt struct {
 	cap   int
 	items map[Region]uint64
@@ -110,8 +112,11 @@ type Filter struct {
 	cfg       Config
 	shift     uint
 	coreNodes []mesh.NodeID
-	present   []map[Region]int // per-core region block counts
-	tables    []*nsrt
+	// present and tables are per-core state owned by the core's snoop
+	// domain in partitioned mode (coreDom[i]); serial mode has one domain
+	// owning every entry.
+	present []map[Region]int //vsnoop:owned table
+	tables  []*nsrt          //vsnoop:owned table
 
 	Stats Stats
 
@@ -120,8 +125,8 @@ type Filter struct {
 	domCores [][]int
 	domEng   []*sim.Engine
 	crossHor []sim.Cycle
-	stats    []paddedStats // per-domain counters (single-writer)
-	pools    [][]*probe    // per-source-domain probe freelists
+	stats    []paddedStats //vsnoop:owned table
+	pools    [][]*probe    //vsnoop:owned table
 	probeFn  sim.HandlerFn
 	replyFn  sim.HandlerFn
 }
@@ -135,10 +140,12 @@ type paddedStats struct {
 // probe is one in-flight cross-domain region scan. The immutable fields
 // (region, me, srcDom) are written before the probe is sent and only read
 // by remote handlers; remaining/shared are owned by the source domain.
+//
+//vsnoop:owned
 type probe struct {
-	region    Region
-	me        int
-	srcDom    int32
+	region    Region //vsnoop:owned const
+	me        int    //vsnoop:owned const
+	srcDom    int32  //vsnoop:owned const
 	remaining int
 	shared    bool
 }
@@ -343,7 +350,11 @@ func (f *Filter) routePartitioned(info token.RouteInfo) []mesh.NodeID {
 	return out
 }
 
-// Route implements token.Router.
+// Route implements token.Router: it is invoked through the interface from
+// whichever domain's coherence controller is requesting, so the static
+// walk cannot see the call edge.
+//
+//vsnoop:handler
 func (f *Filter) Route(info token.RouteInfo) []mesh.NodeID {
 	if len(f.domCores) > 1 {
 		return f.routePartitioned(info)

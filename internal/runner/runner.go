@@ -22,7 +22,7 @@ import (
 func Workers(requested, jobs int) int {
 	w := requested
 	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
+		w = runtime.GOMAXPROCS(0) //lint:wallclock worker-pool sizing only; every job's simulation output is independent of the worker count
 	}
 	if w > jobs {
 		w = jobs

@@ -22,10 +22,13 @@ import (
 
 // coreNode is one core's hardware: private L1/L2 and the coherence
 // controller, plus the queue of vCPUs waiting for the controller.
+//
+//vsnoop:owned
 type coreNode struct {
-	idx    int
-	node   mesh.NodeID
-	dom    *domain // the snoop-domain partition owning this core
+	idx  int
+	node mesh.NodeID
+	// dom is the snoop-domain partition owning this core.
+	dom    *domain //vsnoop:owned const
 	l1, l2 *cache.Cache
 	tlb    *tlb.TLB
 	ctrl   *token.CacheCtrl     // token-protocol controller (nil in directory mode)
@@ -62,10 +65,14 @@ type RefSource interface {
 }
 
 // vcpu is one virtual CPU: its reference source, progress, and identity.
+//
+//vsnoop:owned
 type vcpu struct {
-	id       hv.VCPU
-	dom      *domain // the snoop-domain partition this vCPU executes in
-	core     int     // physical core currently hosting this vCPU
+	id hv.VCPU
+	// dom is the snoop-domain partition this vCPU executes in; it is only
+	// rewritten by the depart handler, inside the old owning domain.
+	dom      *domain
+	core     int // physical core currently hosting this vCPU
 	gen      RefSource
 	left     int // references remaining
 	executed int // references issued so far (for warmup accounting)
@@ -94,9 +101,11 @@ type vcpu struct {
 // covering the whole machine, driven by the single legacy engine — the hot
 // paths read state through the domain either way, so serial runs pay no
 // branch for sharding support.
+//
+//vsnoop:owned
 type domain struct {
-	idx   int32
-	eng   *sim.Engine
+	idx   int32       //vsnoop:owned const
+	eng   *sim.Engine //vsnoop:owned const
 	st    *Stats
 	cores []int // core indexes owned by this domain
 	mcs   []int // token memory-controller indexes owned by this domain
@@ -127,11 +136,15 @@ type Machine struct {
 	Mapper *hv.Mapper
 	Filter *core.Filter
 
-	cores  []*coreNode
+	// cores and vcpus are ownership tables keyed by core/vCPU index: the
+	// element's owner is its dom field (plan.CoreDom[i] for cores), so any
+	// index not derived from the executing handler's own inputs reaches
+	// foreign state.
+	cores  []*coreNode //vsnoop:owned table
 	rs     *regionscout.Filter
 	mcs    []*memctrl.Ctrl
 	homes  []*directory.Home
-	vcpus  []*vcpu
+	vcpus  []*vcpu             //vsnoop:owned table
 	node2i map[mesh.NodeID]int // core endpoint -> core index
 
 	// Injector applies the configured fault plan (nil without one).
@@ -157,7 +170,7 @@ type Machine struct {
 	// doms holds the snoop-domain partitions (one covering everything in
 	// legacy mode, the planner's cut in sharded mode); sharded is the
 	// parallel engine driving them (nil in legacy mode).
-	doms    []*domain
+	doms    []*domain //vsnoop:owned table
 	sharded *sim.ShardedEngine
 	// chkNow is the window-boundary clock published to the invariant
 	// checker in sharded runs (written by the barrier leader, read by the
@@ -174,7 +187,7 @@ type Machine struct {
 	// replicas holds the per-domain filter replicas in syncMode (nil
 	// otherwise; m.Filter then is the single shared filter). replicas[0]
 	// doubles as m.Filter so external accessors keep working.
-	replicas []*core.Filter
+	replicas []*core.Filter //vsnoop:owned table
 
 	// cowTargets maps CowKey(vm, page) to the setup-preallocated private
 	// host page a COW trap resolves to (partitioned content-sharing only),
@@ -190,9 +203,9 @@ type Machine struct {
 	// vcpuIndex); the shuffler and storms skip them so at most one move per
 	// vCPU is ever in the air. retired counts finished vCPUs observed by
 	// dom0 so the recurring shuffle tick knows when to stop rescheduling.
-	inflight []bool
-	retired  int
-	shufRng  *sim.Rand
+	inflight   []bool
+	retired    int
+	shufRng    *sim.Rand
 	shufPeriod sim.Cycle
 
 	// DebugMissHook, if set, receives (guest page, write) for every
@@ -1080,10 +1093,16 @@ func (m *Machine) execute(v *vcpu, cn *coreNode, ref workload.Ref) {
 					m.cores[ci].tlb.Shootdown(v.id.VM, ref.Page)
 				}
 			} else {
+				// Serial-only: a sharded content-sharing run always has
+				// cowTargets (setup preallocates them), so the global
+				// page-table mutation never races. The single legacy
+				// domain owns every core, so shooting down d.cores is the
+				// whole machine here — and stays domain-confined if a
+				// future mode ever reaches this branch sharded.
 				m.MM.CopyOnWrite(v.id.VM, ref.Page)
 				st.Cows++
-				for _, c := range m.cores {
-					c.tlb.Shootdown(v.id.VM, ref.Page)
+				for _, ci := range d.cores {
+					m.cores[ci].tlb.Shootdown(v.id.VM, ref.Page)
 				}
 			}
 			v.pending = ref
@@ -1147,7 +1166,7 @@ func (m *Machine) execute(v *vcpu, cn *coreNode, ref workload.Ref) {
 		if m.sharded != nil {
 			m.classifyPartitioned(d, addr, v.id.VM)
 		} else {
-			m.classifyHolder(st, addr, v.id.VM)
+			m.classifyHolder(d, st, addr, v.id.VM)
 		}
 	}
 	start := d.eng.Now()

@@ -230,12 +230,16 @@ func (s *Stats) recordL2Miss(vm mem.VMID, ctx workload.Ctx, pt mem.PageType) {
 }
 
 // classifyHolder implements the Table VI measurement: at an L2 miss on a
-// content-shared page, find the best possible data holder.
-func (m *Machine) classifyHolder(st *Stats, addr mem.BlockAddr, vm mem.VMID) {
+// content-shared page, find the best possible data holder. Serial-only:
+// sharded runs take classifyPartitioned, which probes remote domains under
+// the lookahead discipline instead of reading their caches directly. The
+// single legacy domain owns every core, so scanning d.cores here covers
+// the whole machine.
+func (m *Machine) classifyHolder(d *domain, st *Stats, addr mem.BlockAddr, vm mem.VMID) {
 	friend, hasFriend := m.MM.FriendOf(vm)
 	intra, fr, other := false, false, false
-	for _, cn := range m.cores {
-		b := cn.l2.Lookup(addr)
+	for _, ci := range d.cores {
+		b := m.cores[ci].l2.Lookup(addr)
 		if b == nil || b.Tokens == 0 {
 			continue
 		}

@@ -13,7 +13,7 @@ import (
 // process, machine, and Go version must encode the default config to
 // exactly these bytes. If a Config change legitimately alters the
 // encoding, bump the version string in Hash and re-pin.
-const defaultHash = "f0c9e95b478c6a502ddcabbb7034088134a55f3f6dbcfe23c3a0685b8c41285b"
+const defaultHash = "d514039b01ff21ccc57bc7f73e401b559c1ae74582e51592d8bdb5499cdba4bc"
 
 func TestHashDefaultPinned(t *testing.T) {
 	if h := DefaultConfig().Hash(); h != defaultHash {
@@ -21,16 +21,19 @@ func TestHashDefaultPinned(t *testing.T) {
 	}
 }
 
-// TestHashIgnoresExecutionMechanics: Shards and NoElision pick goroutine
-// counts and synchronization protocols proven bit-identical, so they must
-// not change the memoization key.
+// TestHashIgnoresExecutionMechanics: Shards, NoElision, and Mode pick
+// goroutine counts and synchronization engines proven bit-identical, so
+// they must not change the memoization key.
 func TestHashIgnoresExecutionMechanics(t *testing.T) {
 	cfg := DefaultConfig()
 	base := cfg.Hash()
 	cfg.Shards = 4
 	cfg.NoElision = true
-	if h := cfg.Hash(); h != base {
-		t.Fatalf("Shards/NoElision changed the hash: %s vs %s", h, base)
+	for _, mode := range []string{"windowed", "adaptive", "timewarp", "auto"} {
+		cfg.Mode = mode
+		if h := cfg.Hash(); h != base {
+			t.Fatalf("Shards/NoElision/Mode=%s changed the hash: %s vs %s", mode, h, base)
+		}
 	}
 }
 

@@ -71,16 +71,16 @@ func goldenConfigs() []goldenRow {
 	// fixed point for every shard count.
 	return []goldenRow{
 		{"fft-counter-mig", mig,
-			"ad1444b513226af0461abaebd626cda304cec380b6cf8e886b0f3c39d728b85a",
+			"647cc876f8f8b2b1f7610e3e822ddc541829a125405bb4ed4a421bd26bb655aa",
 			269816, "4.180799", 5802736, 14989, 14989, 1, 0, 2},
 		{"ocean-threshold-pinned", pinned,
-			"4dc02d4743749c22082779f6ac68f8bff9a347a3c91e4487d03653658d9e94f5",
+			"b62022292429cbfdbfaa6b3a8628f66fcc200bff0b1a679a8b4290a99c2723a2",
 			447681, "4.000000", 9986704, 27981, 27981, 0, 0, 0},
 		{"radix-base-content", content,
-			"fea24046562062dbb83b93b1f6230add72c0413a4243f45b525e8bc7cfcdc59d",
+			"feef856155517173d9b4189a8291a43865395a4cf7062a2ac976d480f5d0de20",
 			311646, "4.000000", 6861696, 19192, 19192, 0, 0, 0},
 		{"fft-flush-fault", faulted,
-			"1ea3fc37c6d9754cec133fa101997d7b714bed613e2eb38ee75edf0042fcc974",
+			"9d2cbec7e45c98845ce56eab2a08bfb445ee51cd7a74239808e5a3097e5c3656",
 			224520, "5.519391", 5767696, 12944, 12944, 279, 0, 10},
 	}
 }

@@ -134,6 +134,11 @@ type Cache struct {
 	// can suspect the VM's map. When nil (fault-free runs) underflow remains
 	// a panic, because then it can only be a simulator bug.
 	OnResidenceUnderflow func(vm mem.VMID)
+
+	// jn is the armed checkpoint journal (nil outside a speculative epoch);
+	// jnStore holds the allocation between epochs. See snapshot.go.
+	jn      *journal
+	jnStore *journal
 }
 
 // New builds a cache from cfg; it panics on invalid geometry (a
@@ -167,9 +172,15 @@ func (c *Cache) setIndex(a mem.BlockAddr) uint64 { return uint64(a) & c.setMask 
 // It does not update LRU state; callers decide whether an access counts
 // as a use (snoop probes do not).
 func (c *Cache) Lookup(a mem.BlockAddr) *Block {
-	set := c.sets[c.setIndex(a)]
+	s := c.setIndex(a)
+	set := c.sets[s]
 	for i := range set {
 		if set[i].Valid && set[i].Addr == a {
+			if c.jn != nil {
+				// The caller may mutate the returned block in place, so the
+				// hit journals its set's pre-image.
+				c.jsave(s)
+			}
 			return &set[i]
 		}
 	}
@@ -178,6 +189,9 @@ func (c *Cache) Lookup(a mem.BlockAddr) *Block {
 
 // Touch marks b most-recently used.
 func (c *Cache) Touch(b *Block) {
+	if c.jn != nil {
+		c.jsave(c.setIndex(b.Addr))
+	}
 	c.tick++
 	b.lru = c.tick
 }
@@ -241,7 +255,11 @@ func (c *Cache) decResident(vm mem.VMID) {
 // tokens; the coherence controller fills token state as responses arrive.
 // evicted reports whether victim describes a displaced valid block.
 func (c *Cache) Insert(a mem.BlockAddr, vm mem.VMID) (b *Block, victim EvictInfo, evicted bool) {
-	set := c.sets[c.setIndex(a)]
+	s := c.setIndex(a)
+	if c.jn != nil {
+		c.jsave(s)
+	}
+	set := c.sets[s]
 	var slot *Block
 	for i := range set {
 		if set[i].Valid && set[i].Addr == a {
@@ -283,6 +301,9 @@ func (c *Cache) Insert(a mem.BlockAddr, vm mem.VMID) (b *Block, victim EvictInfo
 func (c *Cache) Invalidate(b *Block) EvictInfo {
 	if !b.Valid {
 		panic(fmt.Sprintf("cache %s: invalidate of invalid block", c.cfg.Name))
+	}
+	if c.jn != nil {
+		c.jsave(c.setIndex(b.Addr))
 	}
 	info := EvictInfo{Addr: b.Addr, Tokens: b.Tokens, Owner: b.Owner, Dirty: b.Dirty, VM: b.VM}
 	// Clear before callbacks: a reentrant FlushVM from a residence trigger
@@ -346,8 +367,15 @@ func (c *Cache) RecountResidence() {
 	c.ForEachValid(func(b *Block) { c.resident[c.counterIdx(b.VM)]++ })
 }
 
-// ForEachValid calls fn for every valid block.
+// ForEachValid calls fn for every valid block. fn receives mutable blocks,
+// so an armed checkpoint journal conservatively records every set first;
+// runtime callers are invariant checks and fault recovery, neither of which
+// runs inside a speculative epoch, so the bulk pre-image never happens on
+// the optimistic fast path.
 func (c *Cache) ForEachValid(fn func(*Block)) {
+	if c.jn != nil {
+		c.jsaveAll()
+	}
 	for s := range c.sets {
 		set := c.sets[s]
 		for i := range set {

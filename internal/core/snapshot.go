@@ -1,0 +1,75 @@
+package core
+
+import "vsnoop/internal/sim"
+
+// slotSave holds the scalar (value) fields of one vmSlot. The scratch
+// buffer is pure per-call scratch, and scanCores/eng are static after
+// setup, so none of them checkpoint.
+type slotSave struct {
+	level         int
+	until         sim.Cycle
+	fallbackAug   uint64
+	fallbackBroad uint64
+	rebuilds      uint64
+	underflows    uint64
+}
+
+// FilterSnap is one checkpoint of a filter replica (optimistic shard
+// engine): the flat per-VM register files, the degradation slot scalars,
+// the counters, and a mark into the removal-period CDF. Restoring
+// truncates the register files back to their saved lengths — growth is
+// append-only (ensure), so a replayed first appearance of a VM regrows the
+// same zero-initialized slots.
+//
+//vsnoop:owned
+type FilterSnap struct {
+	mapBits  []uint64
+	runBits  []uint64
+	pendBits []uint64
+	pendAt   []sim.Cycle
+	slots    []slotSave
+	mapSyncs uint64
+	flushes  uint64
+	remMark  int
+}
+
+// Save copies the replica's mutable state into s.
+func (f *Filter) Save(s *FilterSnap) {
+	s.mapBits = append(s.mapBits[:0], f.mapBits...)
+	s.runBits = append(s.runBits[:0], f.runBits...)
+	s.pendBits = append(s.pendBits[:0], f.pendBits...)
+	s.pendAt = append(s.pendAt[:0], f.pendAt...)
+	s.slots = s.slots[:0]
+	for i := range f.slots {
+		sl := &f.slots[i]
+		s.slots = append(s.slots, slotSave{
+			level: sl.level, until: sl.until,
+			fallbackAug: sl.fallbackAug, fallbackBroad: sl.fallbackBroad,
+			rebuilds: sl.rebuilds, underflows: sl.underflows,
+		})
+	}
+	s.mapSyncs = f.MapSyncs
+	s.flushes = f.Flushes
+	s.remMark = f.RemovalPeriods.Mark()
+}
+
+// Restore rewinds the replica to the state captured by Save. Surviving
+// slots keep their scratch/scope pointers (static after setup); slots that
+// appeared only during rolled-back speculation are truncated away.
+func (f *Filter) Restore(s *FilterSnap) {
+	f.mapBits = append(f.mapBits[:0], s.mapBits...)
+	f.runBits = append(f.runBits[:0], s.runBits...)
+	f.pendBits = append(f.pendBits[:0], s.pendBits...)
+	f.pendAt = append(f.pendAt[:0], s.pendAt...)
+	f.slots = f.slots[:len(s.slots)]
+	for i := range s.slots {
+		sv := &s.slots[i]
+		sl := &f.slots[i]
+		sl.level, sl.until = sv.level, sv.until
+		sl.fallbackAug, sl.fallbackBroad = sv.fallbackAug, sv.fallbackBroad
+		sl.rebuilds, sl.underflows = sv.rebuilds, sv.underflows
+	}
+	f.MapSyncs = s.mapSyncs
+	f.Flushes = s.flushes
+	f.RemovalPeriods.Truncate(s.remMark)
+}

@@ -1,0 +1,30 @@
+package hv
+
+// MapperSnap is one checkpoint of the vCPU-to-core mapping (optimistic
+// shard engine; the mapper is owned by the shard hosting domain 0, which is
+// the only domain that mutates it).
+type MapperSnap struct {
+	cores       []VCPU
+	relocations uint64
+}
+
+// Save copies the mapper's mutable state into s.
+func (m *Mapper) Save(s *MapperSnap) {
+	s.cores = append(s.cores[:0], m.cores...)
+	s.relocations = m.Relocations
+}
+
+// Restore rewinds the mapper to the state captured by Save. The inverse
+// index is rebuilt from the core table; entries for vCPUs that were placed
+// only during rolled-back speculation are deleted so CoreOf answers -1 for
+// them again.
+func (m *Mapper) Restore(s *MapperSnap) {
+	copy(m.cores, s.cores)
+	clear(m.where)
+	for c, v := range m.cores {
+		if v != NoVCPU {
+			m.where[v] = c
+		}
+	}
+	m.Relocations = s.relocations
+}

@@ -109,6 +109,12 @@ func TestShardAtomicFixture(t *testing.T) { checkFixture(t, "shardatomic") }
 // call leaks are findings.
 func TestDomainOwnFixture(t *testing.T) { checkFixture(t, "domainown") }
 
+// TestTimewarpFixture covers the optimistic engine's speculative state
+// under domainown: checkpoint saves and anti-message handling confined to
+// the owning domain are clean, while a seeded cross-domain checkpoint
+// write and a foreign outbox push are findings.
+func TestTimewarpFixture(t *testing.T) { checkFixture(t, "timewarp") }
+
 // TestIRFlowFixture covers the dataflow-IR corners: the verified key
 // harvest and its near misses, package-level writes through local aliases,
 // and hot-path allocations that escape on a later line.

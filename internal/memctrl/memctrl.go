@@ -63,6 +63,11 @@ type Ctrl struct {
 	lines      map[mem.BlockAddr]*line
 	persistent map[mem.BlockAddr]*persistentEntry
 
+	// jn is the armed checkpoint journal (nil outside a speculative epoch);
+	// jnStore holds the allocation between epochs. See snapshot.go.
+	jn      *mjournal
+	jnStore *mjournal
+
 	// sendFn is the prebound event handler for delayed response sends
 	// (arg = boxed Msg, u = destination << 32 | bytes): zero-alloc arming.
 	sendFn sim.HandlerFn
@@ -78,6 +83,11 @@ func (m *Ctrl) Init() {
 }
 
 func (m *Ctrl) line(a mem.BlockAddr) *line {
+	if m.jn != nil {
+		// Every caller may mutate the returned line, so journal its
+		// pre-image (or its absence) first.
+		m.jLine(a)
+	}
 	l, ok := m.lines[a]
 	if !ok {
 		l = &line{tokens: m.P.TotalTokens, owner: true}
@@ -255,6 +265,9 @@ func (m *Ctrl) absorb(msg token.Msg) {
 }
 
 func (m *Ctrl) handlePersistentReq(msg token.Msg) {
+	if m.jn != nil {
+		m.jPersist(msg.Addr)
+	}
 	p, ok := m.persistent[msg.Addr]
 	if !ok {
 		p = &persistentEntry{}
@@ -296,6 +309,9 @@ func (m *Ctrl) activate(p *persistentEntry, msg token.Msg) {
 }
 
 func (m *Ctrl) handleRelease(msg token.Msg) {
+	if m.jn != nil {
+		m.jPersist(msg.Addr)
+	}
 	p, ok := m.persistent[msg.Addr]
 	if !ok || !p.hasAct || p.active != msg.Src {
 		return // stale release

@@ -242,6 +242,10 @@ func (s *Server) runConfig(j *jobState, i int) (state, errMsg string) {
 		return cfgFailed, fmt.Sprintf("store: %v", perr)
 	}
 	s.journalAppend(record{Op: opCfg, ID: j.id, Hash: h, Status: "ok"})
+	// Every durable write is a GC trigger: evict oldest-unreferenced
+	// records until the store fits its bound again (this job's hashes are
+	// live until it terminates, so its own results are never victims).
+	s.store.gc(s.liveHashes())
 	return cfgComputed, ""
 }
 

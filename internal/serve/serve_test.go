@@ -580,3 +580,209 @@ func TestSoakConcurrentClients(t *testing.T) {
 		accepted.Load(), shed.Load(),
 		s.metrics.configsComputed.Load(), s.metrics.configsMemoized.Load())
 }
+
+// TestStoreGCSkipsReferenced exercises the eviction policy at the store
+// level: oldest-first victim selection that never touches a hash a live
+// job still references.
+func TestStoreGCSkipsReferenced(t *testing.T) {
+	st, err := openStore(t.TempDir()+"/results", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := func(c byte) string { return strings.Repeat(string(c), 64) }
+	for _, c := range []byte{'1', '2', '3'} {
+		if err := st.put(Record{Hash: h(c), Result: &vsnoop.Result{}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	one := st.sizes[h('1')]
+	if one == 0 {
+		t.Fatal("record size not accounted")
+	}
+	st.maxBytes = 2 * one
+	// Oldest (h1) is referenced: the GC must step over it and evict h2.
+	st.gc(map[string]bool{h('1'): true})
+	if _, err := os.Stat(st.path(h('1'))); err != nil {
+		t.Fatalf("referenced oldest record was evicted: %v", err)
+	}
+	if _, err := os.Stat(st.path(h('2'))); !os.IsNotExist(err) {
+		t.Fatal("oldest unreferenced record survived GC")
+	}
+	if _, err := os.Stat(st.path(h('3'))); err != nil {
+		t.Fatalf("newest record was evicted: %v", err)
+	}
+	if got := st.evictions.Load(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+	if st.bytes() != 2*one {
+		t.Fatalf("accounted bytes = %d, want %d", st.bytes(), 2*one)
+	}
+}
+
+// TestStoreGCEvictsOldestUnreferenced is the end-to-end satellite test: a
+// size-bounded server evicts the oldest finished results as new ones are
+// computed, exposes the eviction counter on /metrics, and recomputes an
+// evicted result bit-identically on the next request (determinism makes
+// eviction a pure cache decision).
+func TestStoreGCEvictsOldestUnreferenced(t *testing.T) {
+	first := quickConfig(21)
+	res, err := vsnoop.Run(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := normalizeRecord(first, res)
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Room for ~3.5 records: five sequential jobs must force evictions.
+	limit := 7 * int64(len(data)+1) / 2
+
+	s, ts := newTestServer(t, t.TempDir(), func(o *Options) {
+		o.Workers = 1
+		o.StoreMaxBytes = limit
+	})
+	defer s.Close()
+
+	var firstServed []byte
+	for _, sd := range []uint64{21, 22, 23, 24, 25} {
+		cfg := quickConfig(sd)
+		code, resp := postJob(t, ts.URL, jobRequest{Config: &cfg})
+		if code != http.StatusAccepted {
+			t.Fatalf("seed %d submit: %d", sd, code)
+		}
+		v := waitJob(t, ts.URL, resp["id"].(string), 60*time.Second)
+		if v.Status != statusDone {
+			t.Fatalf("seed %d job: %+v", sd, v)
+		}
+		if sd == 21 {
+			if code, body := getRaw(t, ts.URL+"/v1/results/"+cfg.Hash()); code == http.StatusOK {
+				firstServed = body
+			} else {
+				t.Fatalf("GET fresh result: %d", code)
+			}
+		}
+	}
+	if code, _ := getRaw(t, ts.URL+"/v1/results/"+first.Hash()); code != http.StatusNotFound {
+		t.Fatalf("oldest result after five jobs: %d, want 404 (evicted)", code)
+	}
+	if code, _ := getRaw(t, ts.URL+"/v1/results/"+quickConfig(25).Hash()); code != http.StatusOK {
+		t.Fatalf("newest result: %d, want 200", code)
+	}
+	if s.store.evictions.Load() == 0 {
+		t.Fatal("no evictions counted")
+	}
+	if b := s.store.bytes(); b > limit {
+		t.Fatalf("store holds %d bytes, bound is %d", b, limit)
+	}
+	_, mb := getRaw(t, ts.URL+"/metrics")
+	for _, name := range []string{"vsnoop_store_evictions_total", "vsnoop_store_bytes"} {
+		if !bytes.Contains(mb, []byte(name)) {
+			t.Errorf("metrics missing %s", name)
+		}
+	}
+
+	// The evicted config recomputes — and serves the exact bytes the first
+	// computation served.
+	code, resp := postJob(t, ts.URL, jobRequest{Config: &first})
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit: %d", code)
+	}
+	v := waitJob(t, ts.URL, resp["id"].(string), 60*time.Second)
+	if v.Outcomes[0].State != cfgComputed {
+		t.Fatalf("evicted config outcome = %+v, want computed", v.Outcomes[0])
+	}
+	_, again := getRaw(t, ts.URL+"/v1/results/"+first.Hash())
+	if !bytes.Equal(firstServed, again) {
+		t.Fatal("recomputed result differs from the originally served bytes")
+	}
+}
+
+// TestStoreGCStartupRecovery covers the crash-during-eviction story: a
+// crash can leave the store oversized (evictions stopped mid-batch) and
+// can leave a .tmp from an interrupted write. Each eviction is one atomic
+// unlink, so restart recovery is a pure directory scan: temp files are
+// dropped, accounting is rebuilt from what survived, and the first GC
+// trims back under the bound oldest-mtime-first.
+func TestStoreGCStartupRecovery(t *testing.T) {
+	dir := t.TempDir()
+	results := dir + "/results"
+	if err := os.MkdirAll(results, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	h := func(c byte) string { return strings.Repeat(string(c), 64) }
+	body := bytes.Repeat([]byte("x"), 1000)
+	for i, c := range []byte{'1', '2', '3', '4'} {
+		p := results + "/" + h(c) + ".json"
+		if err := os.WriteFile(p, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Pin distinct mtimes so the scan's oldest-first order is exact.
+		mt := time.Unix(1_700_000_000+int64(i), 0)
+		if err := os.Chtimes(p, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stray := results + "/" + h('5') + ".json.tmp"
+	if err := os.WriteFile(stray, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, ts := newTestServer(t, dir, func(o *Options) { o.StoreMaxBytes = 2500 })
+	defer s.Close()
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Fatal("interrupted-write temp file survived restart")
+	}
+	for _, c := range []byte{'1', '2'} {
+		if code, _ := getRaw(t, ts.URL+"/v1/results/"+h(c)); code != http.StatusNotFound {
+			t.Fatalf("oldest record %c: %d, want 404 (trimmed at startup)", c, code)
+		}
+	}
+	for _, c := range []byte{'3', '4'} {
+		code, got := getRaw(t, ts.URL+"/v1/results/"+h(c))
+		if code != http.StatusOK || !bytes.Equal(got, body) {
+			t.Fatalf("surviving record %c: code %d, bytes equal %v", c, code, bytes.Equal(got, body))
+		}
+	}
+	if got := s.store.evictions.Load(); got != 2 {
+		t.Fatalf("startup evictions = %d, want 2", got)
+	}
+	if got := s.store.bytes(); got != 2000 {
+		t.Fatalf("accounted bytes = %d, want 2000", got)
+	}
+}
+
+// TestModeOverrideBitIdentical: a server forcing -mode timewarp stores and
+// serves exactly the bytes a mode-less computation produces — Mode is an
+// execution mechanic outside the hash and the normalized record.
+func TestModeOverrideBitIdentical(t *testing.T) {
+	cfg := quickConfig(51)
+	s, ts := newTestServer(t, t.TempDir(), func(o *Options) {
+		o.Mode = "timewarp"
+		o.Shards = 4
+	})
+	defer s.Close()
+	code, resp := postJob(t, ts.URL, jobRequest{Config: &cfg})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d", code)
+	}
+	v := waitJob(t, ts.URL, resp["id"].(string), 60*time.Second)
+	if v.Status != statusDone || v.Outcomes[0].State != cfgComputed {
+		t.Fatalf("job: %+v", v)
+	}
+	code, body := getRaw(t, ts.URL+"/v1/results/"+cfg.Hash())
+	if code != http.StatusOK {
+		t.Fatalf("GET result: %d", code)
+	}
+	res, err := vsnoop.Run(cfg) // serial, historical dispatch
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.MarshalIndent(normalizeRecord(cfg, res), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(body, append(want, '\n')) {
+		t.Fatal("timewarp-forced server result differs from a serial run's record")
+	}
+}

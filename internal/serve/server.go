@@ -39,6 +39,16 @@ type Options struct {
 	// Shards overrides Config.Shards on every submitted config (0 leaves
 	// requests as-is). The hash ignores it, so this never affects results.
 	Shards int
+	// Mode overrides Config.Mode on every submitted config ("" leaves
+	// requests as-is): windowed, adaptive, timewarp, or auto. Like Shards
+	// it is an execution mechanic the hash ignores — results are
+	// bit-identical across modes — so forcing it never affects stored
+	// records.
+	Mode string
+	// StoreMaxBytes bounds the content-addressed result store; past it the
+	// oldest unreferenced records are evicted (0 = unbounded). Evicted
+	// results recompute bit-identically on the next request.
+	StoreMaxBytes int64
 	// Now is the clock (required): the daemon passes time.Now, tests pass
 	// a fake. The serve package never reads ambient time itself.
 	Now func() time.Time
@@ -65,6 +75,11 @@ func (o *Options) withDefaults() error {
 	}
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 4096
+	}
+	switch o.Mode {
+	case "", "auto", "windowed", "adaptive", "timewarp":
+	default:
+		return fmt.Errorf("serve: unknown Mode %q (want windowed, adaptive, timewarp, or auto)", o.Mode)
 	}
 	return nil
 }
@@ -101,7 +116,7 @@ func New(opts Options) (*Server, error) {
 	if err := opts.withDefaults(); err != nil {
 		return nil, err
 	}
-	st, err := openStore(filepath.Join(opts.DataDir, "results"))
+	st, err := openStore(filepath.Join(opts.DataDir, "results"), opts.StoreMaxBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -134,7 +149,28 @@ func New(opts Options) (*Server, error) {
 		s.pool.TrySubmit(func() { s.runJob(j) })
 		s.metrics.jobsRecovered.Add(1)
 	}
+	// First GC pass: the replay above fixed which hashes recovered jobs
+	// still reference, so a store left oversized by a crash (including one
+	// mid-eviction) is trimmed back under the bound right away.
+	st.gc(s.liveHashes())
 	return s, nil
+}
+
+// liveHashes returns the result hashes that queued or running jobs still
+// reference; the store GC never evicts these.
+func (s *Server) liveHashes() map[string]bool {
+	refs := make(map[string]bool)
+	s.mu.Lock()
+	for _, id := range s.jobOrder {
+		j := s.jobs[id]
+		if j.status == statusQueued || j.status == statusRunning {
+			for _, h := range j.hashes {
+				refs[h] = true
+			}
+		}
+	}
+	s.mu.Unlock()
+	return refs
 }
 
 // replay rebuilds the job table from journal records and returns the
@@ -315,7 +351,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	closed := s.closed
 	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.render(w, s.pool.Depth(), !closed, s.opts.Shards)
+	s.metrics.render(w, s.pool.Depth(), !closed, s.opts.Shards, s.opts.Mode,
+		s.store.bytes(), s.store.evictions.Load())
 }
 
 // shed writes a 429 with Retry-After, the backpressure contract.
@@ -356,6 +393,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	for i := range configs {
 		if s.opts.Shards != 0 {
 			configs[i].Shards = s.opts.Shards
+		}
+		if s.opts.Mode != "" {
+			configs[i].Mode = s.opts.Mode
 		}
 		if err := configs[i].Validate(); err != nil {
 			s.badRequest(w, fmt.Sprintf("config %d: %v", i, err))

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
 
 	"vsnoop"
@@ -14,9 +17,10 @@ import (
 // configuration that produced it, and the simulation result. Stored
 // records are normalized so that byte equality is meaningful:
 //
-//   - Config.Shards and Config.NoElision are zeroed — they are execution
-//     mechanics excluded from the hash, and results are bit-identical
-//     across them, so a record computed at any shard count serves all.
+//   - Config.Shards, Config.NoElision, and Config.Mode are zeroed — they
+//     are execution mechanics excluded from the hash, and results are
+//     bit-identical across them, so a record computed at any shard count
+//     or synchronization mode serves all.
 //   - Result.Stats is dropped: the low-level record embeds synchronization
 //     telemetry (barrier waits, window widths), which measures how the run
 //     was executed, not what it computed.
@@ -32,6 +36,7 @@ type Record struct {
 func normalizeRecord(cfg vsnoop.Config, res *vsnoop.Result) Record {
 	cfg.Shards = 0
 	cfg.NoElision = false
+	cfg.Mode = ""
 	r := *res
 	r.Stats = nil
 	return Record{Hash: cfg.Hash(), Config: cfg, Result: &r}
@@ -41,16 +46,138 @@ func normalizeRecord(cfg vsnoop.Config, res *vsnoop.Result) Record {
 // written with the write-temp + fsync + rename + dir-fsync pattern so a
 // file either exists completely or not at all — kill -9 can never leave a
 // half-written result visible under its final name.
+//
+// When maxBytes > 0 the store is size-bounded: gc evicts the oldest
+// unreferenced records (oldest write first; at startup, oldest file mtime
+// first) until the total fits. Eviction is a pure cache decision —
+// determinism means any evicted result can be recomputed bit-identically
+// from its config — and each removal is a single atomic unlink, so a crash
+// mid-eviction leaves only states a clean restart rebuilds from the
+// directory scan.
 type store struct {
-	dir    string
-	frozen atomic.Bool
+	dir      string
+	maxBytes int64 // 0 = unbounded
+	frozen   atomic.Bool
+
+	// evictions counts records removed by gc (the
+	// vsnoop_store_evictions_total metric).
+	evictions atomic.Uint64
+
+	// mu guards the size accounting. Readers (raw/get) are deliberately
+	// outside it: a record evicted between lookup and read surfaces as a
+	// plain miss, which every caller already handles by recomputing.
+	mu    sync.Mutex
+	sizes map[string]int64
+	order []string // eviction order: oldest first
+	total int64
 }
 
-func openStore(dir string) (*store, error) {
+// openStore opens the store rooted at dir, deletes any *.tmp leftovers
+// from a crash mid-write, and rebuilds the size accounting from a
+// directory scan (oldest mtime first, hash as the deterministic
+// tiebreaker). It never evicts on its own — the server runs the first gc
+// after journal replay, when the live-reference set is known.
+func openStore(dir string, maxBytes int64) (*store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	return &store{dir: dir}, nil
+	s := &store{dir: dir, maxBytes: maxBytes, sizes: make(map[string]int64)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type meta struct {
+		hash string
+		size int64
+		mod  int64
+	}
+	var metas []meta
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			// A crash between write and rename left a temp file; it was
+			// never visible under its final name, so dropping it is safe.
+			os.Remove(filepath.Join(dir, name))
+			continue
+		}
+		h, ok := strings.CutSuffix(name, ".json")
+		if !ok || !validHash(h) {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		metas = append(metas, meta{hash: h, size: fi.Size(), mod: fi.ModTime().UnixNano()})
+	}
+	sort.Slice(metas, func(i, j int) bool {
+		if metas[i].mod != metas[j].mod {
+			return metas[i].mod < metas[j].mod
+		}
+		return metas[i].hash < metas[j].hash
+	})
+	for _, m := range metas {
+		s.sizes[m.hash] = m.size
+		s.order = append(s.order, m.hash)
+		s.total += m.size
+	}
+	return s, nil
+}
+
+// bytes returns the accounted store size (the vsnoop_store_bytes gauge).
+func (s *store) bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// account registers a freshly renamed record in the size bookkeeping.
+func (s *store) account(hash string, n int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.sizes[hash]; !dup {
+		s.sizes[hash] = n
+		s.order = append(s.order, hash)
+		s.total += n
+	}
+}
+
+// gc evicts oldest-first until the store fits maxBytes, skipping hashes in
+// referenced (results that queued or running jobs still need). If every
+// record is referenced the store may transiently exceed its bound — live
+// work is never sacrificed to the cache limit. Each eviction is one atomic
+// unlink; the directory is fsync'd once at the end so the batch is durable.
+func (s *store) gc(referenced map[string]bool) {
+	if s.maxBytes <= 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := false
+	for s.total > s.maxBytes && !s.frozen.Load() {
+		victim := -1
+		for i, h := range s.order {
+			if !referenced[h] {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		h := s.order[victim]
+		if err := os.Remove(s.path(h)); err != nil && !os.IsNotExist(err) {
+			break
+		}
+		s.evictions.Add(1)
+		s.total -= s.sizes[h]
+		delete(s.sizes, h)
+		s.order = append(s.order[:victim], s.order[victim+1:]...)
+		removed = true
+	}
+	if removed {
+		syncDir(s.dir)
+	}
 }
 
 // validHash reports whether h is a lowercase hex SHA-256 — both an API
@@ -147,7 +274,11 @@ func (s *store) put(rec Record) error {
 	if err := os.Rename(tmp, final); err != nil {
 		return err
 	}
-	return syncDir(s.dir)
+	if err := syncDir(s.dir); err != nil {
+		return err
+	}
+	s.account(rec.Hash, int64(len(data)+1))
+	return nil
 }
 
 // freeze suppresses further writes (Abort; see journal.freeze).

@@ -1,0 +1,302 @@
+package sim
+
+import "testing"
+
+// The timewarp tests run a deterministic multi-domain model twice — once on
+// the K=1 serial path, once optimistically — and require bit-identical
+// traces, counters, and fired-event totals. The model's schedule is driven
+// by a seeded multiplicative congruential stream folded into each domain's
+// counter, so every gap, send decision, and target is a pure function of
+// the seed and each domain owns its own randomness (no cross-shard RNG).
+//
+// The straggler harness shapes the schedule so rollbacks MUST happen:
+// domain 0 runs a dense local chain (it speculates far ahead as soon as the
+// epoch controller grows E past the quiet stretches), while the other
+// domains run sparse chains that occasionally deposit a cross-shard event
+// into domain 0 at exactly the minimum lookahead — a short-lookahead send
+// whose arrival cuts the commit horizon below domain 0's speculative front.
+
+// twTrace is one executed model event: the cycle it fired at and its packed
+// identity. Comparing full traces catches any reorder, duplicate, or loss.
+type twTrace struct {
+	at Cycle
+	id uint64
+}
+
+// Model event ids (low word of the packed u payload).
+const (
+	twIDChain = iota // dense local chain (domain 0)
+	twIDPing         // sparse chain (domains >= 1)
+	twIDLeaf         // cross-shard deposit target (no rescheduling)
+)
+
+// twModel is the test model: per-domain order-sensitive counters and event
+// traces, plus the flat-slice checkpoint store implementing ShardState.
+type twModel struct {
+	engs     []*Engine
+	domShard []int
+	la       Cycle
+	end      Cycle
+
+	// Schedule shape: pinger gap = gapBase + stream % gapJitter; a pinger
+	// deposits into domain 0 when stream % sendMod == 0.
+	gapBase   Cycle
+	gapJitter Cycle
+	sendMod   uint64
+
+	counters []uint64
+	traces   [][]twTrace
+
+	saved   [][]twModelSnap // [shard][slot]
+	commits []int
+
+	fn HandlerFn
+}
+
+type twModelSnap struct {
+	counters []uint64
+	tlens    []int
+}
+
+func newTwModel(se *ShardedEngine, domShard []int, la Cycle, seed uint64) *twModel {
+	nd := len(domShard)
+	m := &twModel{
+		domShard: domShard, la: la, end: 20_000,
+		gapBase: 150, gapJitter: 90, sendMod: 4,
+		counters: make([]uint64, nd),
+		traces:   make([][]twTrace, nd),
+		commits:  make([]int, se.Shards()),
+	}
+	for d := 0; d < nd; d++ {
+		m.engs = append(m.engs, se.Eng(domShard[d]))
+		m.counters[d] = seed*2862933555777941757 + uint64(d)*3037000493 + 1
+	}
+	m.saved = make([][]twModelSnap, se.Shards())
+	for s := range m.saved {
+		m.saved[s] = make([]twModelSnap, twSnapSlots)
+	}
+	m.fn = m.handle
+	return m
+}
+
+// seedEvents schedules each domain's chain starter.
+func (m *twModel) seedEvents() {
+	for d, eng := range m.engs {
+		eng.SetCurDomain(int32(d))
+		id := uint64(twIDPing)
+		if d == 0 {
+			id = twIDChain
+		}
+		eng.ScheduleFnAtDom(Cycle(10+7*d), int32(d), m.fn, nil, uint64(d)<<32|id)
+	}
+}
+
+// handle executes one model event in domain u>>32. The counter fold is
+// order-sensitive (a multiplicative accumulator over (cycle, id)), so any
+// deviation from the serial event order changes the final value.
+func (m *twModel) handle(_ interface{}, u uint64) {
+	d := int(u >> 32)
+	id := u & 0xFFFFFFFF
+	eng := m.engs[d]
+	now := eng.Now()
+	m.counters[d] = m.counters[d]*6364136223846793005 + uint64(now)*31 + id + 1
+	m.traces[d] = append(m.traces[d], twTrace{at: now, id: u})
+	stream := m.counters[d]
+	switch id {
+	case twIDChain:
+		if now >= m.end {
+			return
+		}
+		eng.ScheduleFn(1+Cycle(stream>>8%3), m.fn, nil, u)
+		if stream>>16%29 == 0 && len(m.engs) > 1 {
+			tgt := 1 + int(stream>>24)%(len(m.engs)-1)
+			eng.ScheduleFnAtDom(now+m.la, int32(tgt), m.fn, nil, uint64(tgt)<<32|twIDLeaf)
+		}
+	case twIDPing:
+		if now < m.end {
+			eng.ScheduleFn(m.gapBase+Cycle(stream>>8)%m.gapJitter, m.fn, nil, u)
+		}
+		if stream>>16%m.sendMod == 0 {
+			// The straggler: a deposit into the dense domain at exactly the
+			// minimum cross-shard lookahead.
+			eng.ScheduleFnAtDom(now+m.la, 0, m.fn, nil, uint64(twIDLeaf))
+		}
+	}
+}
+
+func (m *twModel) Save(shard, slot int) {
+	sn := &m.saved[shard][slot]
+	sn.counters = sn.counters[:0]
+	sn.tlens = sn.tlens[:0]
+	for d, s := range m.domShard {
+		if s == shard {
+			sn.counters = append(sn.counters, m.counters[d])
+			sn.tlens = append(sn.tlens, len(m.traces[d]))
+		}
+	}
+}
+
+func (m *twModel) Restore(shard, slot int) {
+	sn := &m.saved[shard][slot]
+	i := 0
+	for d, s := range m.domShard {
+		if s == shard {
+			m.counters[d] = sn.counters[i]
+			m.traces[d] = m.traces[d][:sn.tlens[i]]
+			i++
+		}
+	}
+}
+
+func (m *twModel) Commit(shard int) { m.commits[shard]++ }
+
+// runTwModel builds a fresh nd-domain model on k shards and runs it to
+// quiescence in the given mode, returning the model and engine.
+func runTwModel(t *testing.T, nd, k int, mode Mode, seed uint64, shape func(*twModel)) (*twModel, *ShardedEngine) {
+	t.Helper()
+	const la = Cycle(6)
+	domShard := make([]int, nd)
+	for d := range domShard {
+		domShard[d] = d % k
+	}
+	se := NewSharded(domShard, la)
+	se.Mode = mode
+	m := newTwModel(se, domShard, la, seed)
+	if shape != nil {
+		shape(m)
+	}
+	se.SetShardState(m)
+	m.seedEvents()
+	if err := se.Run(); err != nil {
+		t.Fatalf("nd=%d k=%d mode=%v: %v", nd, k, mode, err)
+	}
+	return m, se
+}
+
+// assertTwIdentical requires two runs of the same workload to match event
+// for event.
+func assertTwIdentical(t *testing.T, ref, got *twModel, refE, gotE *ShardedEngine, label string) {
+	t.Helper()
+	for d := range ref.counters {
+		if ref.counters[d] != got.counters[d] {
+			t.Errorf("%s: domain %d counter diverged: serial %x, got %x", label, d, ref.counters[d], got.counters[d])
+		}
+		if len(ref.traces[d]) != len(got.traces[d]) {
+			t.Fatalf("%s: domain %d trace length %d vs %d", label, d, len(ref.traces[d]), len(got.traces[d]))
+		}
+		for i := range ref.traces[d] {
+			if ref.traces[d][i] != got.traces[d][i] {
+				t.Fatalf("%s: domain %d trace[%d] = %+v, want %+v", label, d, i, got.traces[d][i], ref.traces[d][i])
+			}
+		}
+	}
+	if refE.Fired() != gotE.Fired() {
+		t.Errorf("%s: fired %d events, serial fired %d", label, gotE.Fired(), refE.Fired())
+	}
+}
+
+// TestTimewarpIdenticalToSerial is the rollback property test: for
+// K in {1, 2, 4}, the optimistic run must be bit-identical to the serial
+// one, and the straggler-injection shape must actually exercise rollbacks
+// and anti-messages (telemetry-asserted) — a run that never speculated
+// wrongly would not test the recovery machinery at all.
+func TestTimewarpIdenticalToSerial(t *testing.T) {
+	for _, tc := range []struct{ nd, k int }{{2, 2}, {4, 2}, {4, 4}} {
+		for _, seed := range []uint64{1, 42, 1337} {
+			ref, refE := runTwModel(t, tc.nd, 1, ModeTimewarp, seed, nil)
+			got, gotE := runTwModel(t, tc.nd, tc.k, ModeTimewarp, seed, nil)
+			label := "timewarp"
+			assertTwIdentical(t, ref, got, refE, gotE, label)
+			tele := gotE.Telemetry()
+			if tele.Rollbacks == 0 {
+				t.Errorf("nd=%d k=%d seed=%d: no rollbacks — the straggler harness exercised nothing", tc.nd, tc.k, seed)
+			}
+			if tele.Windows == 0 {
+				t.Errorf("nd=%d k=%d seed=%d: no epochs recorded", tc.nd, tc.k, seed)
+			}
+		}
+	}
+}
+
+// TestTimewarpAntiMessages shapes domain 0 to both speculate and send, so
+// commits cut below staged sends and the source-side annihilation path
+// (anti-messages) runs.
+func TestTimewarpAntiMessages(t *testing.T) {
+	var total uint64
+	for _, seed := range []uint64{3, 9, 27} {
+		ref, refE := runTwModel(t, 4, 1, ModeTimewarp, seed, nil)
+		got, gotE := runTwModel(t, 4, 4, ModeTimewarp, seed, nil)
+		assertTwIdentical(t, ref, got, refE, gotE, "antimsg")
+		total += gotE.Telemetry().AntiMessages
+	}
+	if total == 0 {
+		t.Errorf("no anti-messages across any seed: rolled-back sends never exercised annihilation")
+	}
+}
+
+// TestTimewarpBailout drives dense cross traffic (every domain deposits
+// every few cycles) so commit widths pin to the conservative floor and the
+// controller must hand off to the adaptive engine — and the result must
+// still be bit-identical to serial across the hand-off.
+func TestTimewarpBailout(t *testing.T) {
+	dense := func(m *twModel) {
+		m.gapBase, m.gapJitter, m.sendMod = 8, 5, 1
+		m.end = 6_000
+	}
+	ref, refE := runTwModel(t, 4, 1, ModeTimewarp, 7, dense)
+	got, gotE := runTwModel(t, 4, 2, ModeTimewarp, 7, dense)
+	assertTwIdentical(t, ref, got, refE, gotE, "bailout")
+	if gotE.Telemetry().Bailouts == 0 {
+		t.Errorf("dense cross traffic never triggered the adaptive bailout")
+	}
+}
+
+// TestTimewarpMatchesAdaptive cross-checks the two K>1 engines against each
+// other on the same workload: conservative and optimistic synchronization
+// must agree event for event.
+func TestTimewarpMatchesAdaptive(t *testing.T) {
+	a, aE := runTwModel(t, 4, 2, ModeAdaptive, 11, nil)
+	b, bE := runTwModel(t, 4, 2, ModeTimewarp, 11, nil)
+	assertTwIdentical(t, a, b, aE, bE, "vs-adaptive")
+}
+
+// TestEngineSnapshotRoundTrip pins the engine checkpoint primitive: save,
+// run further, restore, and the replay must reproduce the same execution.
+func TestEngineSnapshotRoundTrip(t *testing.T) {
+	build := func() (*Engine, *[]Cycle) {
+		eng := NewEngine()
+		var log []Cycle
+		var fn func()
+		fn = func() {
+			log = append(log, eng.Now())
+			if eng.Now() < 100 {
+				eng.Schedule(3, fn)
+			}
+		}
+		eng.Schedule(1, fn)
+		return eng, &log
+	}
+	ref, refLog := build()
+	ref.Run()
+
+	eng, log := build()
+	eng.RunUntil(40)
+	var snap engSnap
+	eng.saveSnap(&snap)
+	mark := len(*log)
+	eng.RunUntil(70) // speculate past the checkpoint
+	eng.restoreSnap(&snap)
+	*log = (*log)[:mark]
+	eng.Run()
+	if len(*log) != len(*refLog) {
+		t.Fatalf("replayed %d events, want %d", len(*log), len(*refLog))
+	}
+	for i := range *refLog {
+		if (*log)[i] != (*refLog)[i] {
+			t.Fatalf("replay log[%d] = %d, want %d", i, (*log)[i], (*refLog)[i])
+		}
+	}
+	if eng.Fired() != ref.Fired() {
+		t.Errorf("fired %d, want %d (restore must rewind the count)", eng.Fired(), ref.Fired())
+	}
+}

@@ -92,6 +92,10 @@ type vcpu struct {
 	done     bool
 	defFrom  int
 	defTo    int
+
+	// vix is this vCPU's index in m.vcpus — the column of the own/fwd
+	// ownership tables.
+	vix int //vsnoop:owned const
 }
 
 // domain is one snoop-domain partition of the machine: the cores the
@@ -122,8 +126,18 @@ type domain struct {
 	// writes onto the setup-preallocated target page.
 	cow map[uint64]mem.Translation
 	// probes is the freelist of holder-classification probes this domain
-	// originates.
-	probes []*holderProbe
+	// originates; allProbes is the append-only registry of every probe the
+	// domain ever allocated, so the optimistic engine can checkpoint the
+	// in-flight ones by index.
+	probes    []*holderProbe
+	allProbes []*holderProbe
+
+	// vlist is the authoritative list of vCPUs this domain currently owns
+	// (maintained by the depart/arrive handlers); cowLog records the keys
+	// inserted into the cow overlay since the last commit. Both exist for
+	// the optimistic engine's checkpoints and are only appended outside it.
+	vlist  []*vcpu
+	cowLog []uint64
 }
 
 // Machine is a fully wired simulated system.
@@ -212,6 +226,29 @@ type Machine struct {
 	// measured guest L2 miss; used by calibration tooling only.
 	DebugMissHook func(page int, write bool)
 
+	// own/fwd are the flat per-domain vCPU location tables of sharded mode
+	// (nil in legacy): own[d*nv+vix] reports whether domain d currently owns
+	// vCPU vix, and fwd[d*nv+vix] is where d last sent it. Row d is written
+	// exclusively by domain d's handlers — depart clears own and points fwd
+	// at the destination, arrive sets both — so every shard reads only rows
+	// it owns and the event-chase path hops along fwd one domain at a time.
+	// Chasing through these rows instead of the vCPU's dom pointer (which
+	// the destination shard may be rewriting concurrently) makes the chase
+	// both race-free and a pure function of simulated time.
+	own []bool  //vsnoop:owned table
+	fwd []int32 //vsnoop:owned table
+	nv  int
+
+	// Optimistic (timewarp) execution support. twOn gates the undo-log
+	// appends on the migration and COW paths; domShard maps each domain to
+	// the shard executing it; twLog is the per-shard arrival undo log —
+	// chronological, because all of a shard's domains run on one goroutine;
+	// shardState adapts the per-domain model state to sim.ShardState.
+	twOn       bool
+	domShard   []int32
+	twLog      [][]arriveSave //vsnoop:owned table
+	shardState *machineState
+
 	// stepFn/resumeFn are the prebound event handlers for the two hottest
 	// schedulers (per-reference think-time step, delayed reference
 	// resumption); the vCPU rides in the event's arg, so neither allocates.
@@ -254,8 +291,10 @@ func New(cfg Config) (*Machine, error) {
 			k = nd
 		}
 		domShard := make([]int, nd)
+		m.domShard = make([]int32, nd)
 		for d := range domShard {
 			domShard[d] = d % k
+			m.domShard[d] = int32(d % k)
 		}
 		// Lookahead: any cross-domain message crosses at least one mesh hop
 		// (router + link + one flit), and fault delays only add latency.
@@ -274,12 +313,14 @@ func New(cfg Config) (*Machine, error) {
 	m.syncMode = m.sharded != nil && cfg.needSync(plan)
 
 	// stepFn/resumeFn carry the scheduled domain index in u: when a migrated
-	// vCPU's event fires in its old domain, the handler chases it into the
-	// new one through the deposit path (which preserves the lookahead
-	// discipline). Legacy runs always schedule with u=0 and never chase.
+	// vCPU's event fires in a domain that no longer owns it, the handler
+	// chases it along the fwd table through the deposit path (which preserves
+	// the lookahead discipline). The ownership test reads only row u of the
+	// own table — state the executing shard itself writes. Legacy runs have
+	// no own table and never chase.
 	m.stepFn = func(arg interface{}, u uint64) {
 		v := arg.(*vcpu)
-		if v.dom.idx != int32(u) {
+		if m.own != nil && !m.own[int(u)*m.nv+v.vix] {
 			m.chase(v, u, m.stepFn)
 			return
 		}
@@ -287,7 +328,7 @@ func New(cfg Config) (*Machine, error) {
 	}
 	m.resumeFn = func(arg interface{}, u uint64) {
 		v := arg.(*vcpu)
-		if v.dom.idx != int32(u) {
+		if m.own != nil && !m.own[int(u)*m.nv+v.vix] {
 			m.chase(v, u, m.resumeFn)
 			return
 		}
@@ -681,12 +722,43 @@ func New(cfg Config) (*Machine, error) {
 			}
 		}
 	}
-	for _, v := range m.vcpus {
+	if m.sharded != nil {
+		m.nv = len(m.vcpus)
+		m.own = make([]bool, len(m.doms)*m.nv)
+		m.fwd = make([]int32, len(m.doms)*m.nv)
+	}
+	for i, v := range m.vcpus {
+		v.vix = i
 		v.core = m.Mapper.CoreOf(v.id)
 		v.dom = m.domOfCore(v.core)
 		v.dom.nvcpus++
 	}
+	m.initLocationTables()
 	return m, nil
+}
+
+// initLocationTables (re)derives the per-domain vCPU lists and the own/fwd
+// location rows from the mapper's current placement. Called at construction
+// and again when a partitioned run starts, so placement changes between the
+// two (tests relocating by hand) cannot leave the tables stale.
+func (m *Machine) initLocationTables() {
+	if m.sharded == nil {
+		return
+	}
+	for _, d := range m.doms {
+		d.vlist = d.vlist[:0]
+	}
+	for i, v := range m.vcpus {
+		v.dom = m.domOfCore(v.core)
+		v.dom.vlist = append(v.dom.vlist, v)
+		for d := range m.doms {
+			m.own[d*m.nv+i] = int32(d) == v.dom.idx
+			m.fwd[d*m.nv+i] = v.dom.idx
+		}
+	}
+	for _, d := range m.doms {
+		d.nvcpus = len(d.vlist)
+	}
 }
 
 // domOfCore returns the domain owning core i (per the computed cut).
@@ -915,6 +987,25 @@ func (m *Machine) runSharded() (*Stats, error) {
 	m.sharded.SetProgressLimit(limit)
 	m.sharded.SetCancel(cfg.Cancel)
 	m.sharded.MaxSteps = cfg.MaxSteps
+	m.initLocationTables()
+	mode := m.resolveMode()
+	m.sharded.Mode = mode
+	if mode == sim.ModeTimewarp {
+		m.twOn = true
+		m.shardState = newMachineState(m)
+		m.sharded.SetShardState(m.shardState)
+		// Arm copy-on-first-touch journals on the bulk structures (cache
+		// sets, memory-controller tables), so a checkpoint costs what the
+		// epoch touched, not what the machine holds.
+		for _, cn := range m.cores {
+			cn.l1.EnableJournal()
+			cn.l2.EnableJournal()
+			cn.tlb.EnableJournal()
+		}
+		for _, mc := range m.mcs {
+			mc.EnableJournal()
+		}
+	}
 	m.running = true
 	if m.syncMode {
 		m.inflight = make([]bool, len(m.vcpus))
@@ -1088,6 +1179,12 @@ func (m *Machine) execute(v *vcpu, cn *coreNode, ref workload.Ref) {
 			if m.cowTargets != nil {
 				key := mem.CowKey(v.id.VM, ref.Page)
 				d.cow[key] = mem.Translation{Host: m.cowTargets[key], Type: mem.PagePrivate}
+				if m.twOn {
+					// The overlay is insert-only (the trap fires once per
+					// domain per page), so an undo log of inserted keys is a
+					// complete checkpoint delta.
+					d.cowLog = append(d.cowLog, key)
+				}
 				st.Cows++
 				for _, ci := range d.cores {
 					m.cores[ci].tlb.Shootdown(v.id.VM, ref.Page)

@@ -18,6 +18,7 @@ import (
 	"vsnoop/internal/mesh"
 	"vsnoop/internal/sim"
 	"vsnoop/internal/token"
+	"vsnoop/internal/workload"
 )
 
 // Filter-replica delta opcodes, packed into the event's u payload as
@@ -69,14 +70,19 @@ func (m *Machine) vcpuAt(id hv.VCPU) *vcpu {
 }
 
 // chase reschedules a step/resume event that fired in the domain it was
-// scheduled for (from) after its vCPU migrated away: deposit it into the
-// vCPU's current domain one cross-shard horizon ahead. The depart always
-// precedes the chased continuation there (both paths add the same horizon,
-// and the continuation was scheduled strictly after the depart's cause).
+// scheduled for (from) after its vCPU migrated away: deposit it toward the
+// vCPU's current domain one cross-shard horizon ahead, hopping along from's
+// own fwd row — never the vCPU's dom pointer, which the destination shard
+// may be rewriting concurrently. Each hop retests ownership on arrival, so
+// a vCPU that moved again mid-chase is simply chased again; the depart
+// always precedes the chased continuation at every hop (both paths add the
+// same horizon, and the continuation was scheduled strictly after the
+// depart's cause).
 //vsnoop:hotpath
 func (m *Machine) chase(v *vcpu, from uint64, fn sim.HandlerFn) {
 	d := m.doms[from]
-	d.eng.ScheduleFnAtDom(d.eng.Now()+m.crossHor[from], v.dom.idx, fn, v, uint64(v.dom.idx))
+	nxt := m.fwd[int(from)*m.nv+v.vix]
+	d.eng.ScheduleFnAtDom(d.eng.Now()+m.crossHor[from], nxt, fn, v, uint64(nxt))
 }
 
 // broadcastDelta replays a register-file update of from's replica on every
@@ -175,6 +181,18 @@ func (m *Machine) departNow(v *vcpu, from, to int) {
 	}
 	v.core = to
 	v.dom = m.domOfCore(to)
+	// Hand off ownership in dOld's own location rows and vlist; the arrive
+	// completes the transfer in the destination's rows.
+	m.own[int(dOld.idx)*m.nv+v.vix] = false
+	m.fwd[int(dOld.idx)*m.nv+v.vix] = v.dom.idx
+	for i, w := range dOld.vlist {
+		if w == v {
+			last := len(dOld.vlist) - 1
+			dOld.vlist[i] = dOld.vlist[last]
+			dOld.vlist = dOld.vlist[:last]
+			break
+		}
+	}
 	eng := dOld.eng
 	eng.ScheduleFnAtDom(eng.Now()+m.crossHor[dOld.idx], v.dom.idx, m.arriveFn, v, uint64(to))
 }
@@ -186,6 +204,18 @@ func (m *Machine) handleArrive(arg interface{}, u uint64) {
 	v := arg.(*vcpu)
 	to := int(u)
 	d := v.dom
+	if m.twOn {
+		// Log the pre-arrival vCPU state before any mutation: an optimistic
+		// rollback undoes arrivals (newest first) before restoring the
+		// checkpointed vlists, so a vCPU that both departed and arrived
+		// inside one epoch unwinds through its in-flight state back to the
+		// depart-side checkpoint.
+		m.twLog[m.domShard[d.idx]] = append(m.twLog[m.domShard[d.idx]],
+			arriveSave{v: v, st: *v, gen: v.gen.(*workload.Generator).State()})
+	}
+	m.own[int(d.idx)*m.nv+v.vix] = true
+	m.fwd[int(d.idx)*m.nv+v.vix] = d.idx
+	d.vlist = append(d.vlist, v)
 	m.replicas[d.idx].RelocateArrive(v.id.VM, to)
 	m.broadcastDelta(d, opRunMapSet, v.id.VM, to)
 	if !m.cfg.TLB.Tagged {
@@ -389,6 +419,7 @@ type holderProbe struct {
 	addr      mem.BlockAddr //vsnoop:owned const
 	vm        mem.VMID      //vsnoop:owned const
 	srcDom    int32         //vsnoop:owned const
+	idx       int32         //vsnoop:owned const — slot in the domain's allProbes registry
 	remaining int
 	bits      uint64
 }
@@ -400,14 +431,18 @@ const (
 	holderOther  = 4
 )
 
-// getHolderProbe pops a probe from d's freelist (or allocates one).
+// getHolderProbe pops a probe from d's freelist, or allocates one and
+// registers it in the domain's append-only probe registry (checkpoints
+// save in-flight probe state by registry index).
 func (m *Machine) getHolderProbe(d *domain) *holderProbe {
 	if n := len(d.probes); n > 0 {
 		p := d.probes[n-1]
 		d.probes = d.probes[:n-1]
 		return p
 	}
-	return &holderProbe{}
+	p := &holderProbe{idx: int32(len(d.allProbes))}
+	d.allProbes = append(d.allProbes, p)
+	return p
 }
 
 // scanHolder classifies the holders of addr among d's own caches.

@@ -1,0 +1,210 @@
+package system
+
+import (
+	"fmt"
+	"testing"
+
+	"vsnoop/internal/core"
+	"vsnoop/internal/fault"
+	"vsnoop/internal/sim"
+)
+
+// timewarpIdentity runs cfg serially (Shards=0, historical dispatch) and
+// under the optimistic engine at K ∈ {1, 2, 4}, requiring bit-identical
+// statistics every time. It returns the K=4 sync telemetry so callers can
+// assert on the rollback counters.
+func timewarpIdentity(t *testing.T, cfg Config) sim.SyncStats {
+	t.Helper()
+	serial := runCfg(t, cfg)
+	var tele sim.SyncStats
+	for _, k := range []int{1, 2, 4} {
+		c := cfg
+		c.Shards = k
+		c.Mode = "timewarp"
+		st := runCfg(t, c)
+		statsEqual(t, fmt.Sprintf("timewarp/shards=%d", k), serial, st)
+		tele = st.Sync
+	}
+	return tele
+}
+
+// TestTimewarpMigrationBitIdentical is the optimistic engine's core
+// guarantee on its hardest input: periodic cross-VM vCPU migration drives
+// depart/arrive transactions, filter-replica deltas, and chased step
+// events across shards — each a potential straggler below another shard's
+// local virtual time. The committed state must still be bit-identical to
+// serial at every shard count, and the run must actually exercise the
+// rollback machinery (a migration config that never rolls back would make
+// this test vacuous, so the telemetry assertion is part of the contract).
+func TestTimewarpMigrationBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefsPerVCPU = 2500
+	cfg.WarmupRefs = 400
+	cfg.Filter.Policy = core.PolicyCounter
+	cfg.MigrationPeriodMs = 2
+	tele := timewarpIdentity(t, cfg)
+	if tele.Rollbacks == 0 && tele.Bailouts == 0 {
+		t.Errorf("migration run under timewarp saw no rollbacks and no bailout: telemetry %+v", tele)
+	}
+	if tele.Rollbacks > 0 && tele.GVTLagSum == 0 {
+		t.Errorf("rollbacks recorded with zero GVT lag: telemetry %+v", tele)
+	}
+}
+
+// TestTimewarpContentSharingBitIdentical covers the non-syncMode coverage
+// class: content sharing with the friend-VM snoop policy generates
+// cross-domain holder-classification probes and replies (plus COW overlay
+// inserts), all of which must checkpoint and replay exactly. The filter
+// stays a single shared replica here, which the snapshot layer supports
+// only for the runtime-read-only policies (base/broadcast).
+func TestTimewarpContentSharingBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefsPerVCPU = 2000
+	cfg.WarmupRefs = 300
+	cfg.ContentSharing = true
+	cfg.Filter.Policy = core.PolicyBase
+	cfg.Filter.Content = core.ContentFriendVM
+	st := runCfg(t, cfg)
+	if st.HolderMemory+st.HolderIntraVM+st.HolderFriend+st.HolderOther == 0 {
+		t.Fatal("content config recorded no holder classifications")
+	}
+	timewarpIdentity(t, cfg)
+}
+
+// TestTimewarpStormBitIdentical drives the straggler injector directly: a
+// burst of back-to-back cross-VM swaps (the migration-storm fault event)
+// floods the shards with depart/arrive/delta deposits at one simulated
+// instant. Fault plans imply the online checker, which needs conservative
+// window boundaries — so this config must fall back, still match serial
+// bit-for-bit, and report zero optimistic telemetry.
+func TestTimewarpStormFallsBackBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefsPerVCPU = 1500
+	cfg.WarmupRefs = 300
+	cfg.Filter.Policy = core.PolicyCounter
+	cfg.NoHypervisor = true
+	cfg.Fault = &fault.Plan{Events: []fault.Event{
+		{At: 3000, Kind: fault.EvMigrationStorm, Count: 6},
+		{At: 9000, Kind: fault.EvMigrationStorm, Count: 6},
+	}}
+	run := func(shards int, mode string) *Stats {
+		c := cfg
+		c.Shards = shards
+		c.Mode = mode
+		m, err := New(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := m.RunChecked()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	serial := run(0, "")
+	if serial.StormRelocations == 0 {
+		t.Fatal("storm plan performed no relocations")
+	}
+	for _, k := range []int{2, 4} {
+		st := run(k, "timewarp")
+		statsEqual(t, fmt.Sprintf("storm/shards=%d", k), serial, st)
+		if st.Sync.Rollbacks != 0 || st.Sync.AntiMessages != 0 {
+			t.Errorf("shards=%d: faulted config must fall back to conservative mode, got telemetry %+v",
+				k, st.Sync)
+		}
+	}
+}
+
+// TestTimewarpModeResolution pins resolveMode's dispatch table: explicit
+// conservative modes stay conservative, "timewarp" engages exactly when
+// the configuration is inside checkpoint coverage, and "auto" follows the
+// planner's horizon estimate (multiple shards + runtime filter sync at
+// mesh-floor lookahead).
+func TestTimewarpModeResolution(t *testing.T) {
+	build := func(mut func(*Config)) *Machine {
+		cfg := DefaultConfig()
+		cfg.RefsPerVCPU = 100
+		cfg.Shards = 4
+		mut(&cfg)
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want sim.Mode
+	}{
+		{"explicit-windowed", func(c *Config) { c.Mode = "windowed"; c.MigrationPeriodMs = 2 }, sim.ModeWindowed},
+		{"explicit-adaptive", func(c *Config) { c.Mode = "adaptive"; c.MigrationPeriodMs = 2 }, sim.ModeAdaptive},
+		{"timewarp-migration", func(c *Config) { c.Mode = "timewarp"; c.MigrationPeriodMs = 2 }, sim.ModeTimewarp},
+		{"timewarp-base-content", func(c *Config) { c.Mode = "timewarp"; c.ContentSharing = true }, sim.ModeTimewarp},
+		{"timewarp-checks-fallback", func(c *Config) { c.Mode = "timewarp"; c.Checks = true }, sim.ModeAuto},
+		{"timewarp-directory-fallback", func(c *Config) { c.Mode = "timewarp"; c.Directory = true }, sim.ModeAuto},
+		{"timewarp-regionscout-fallback", func(c *Config) { c.Mode = "timewarp"; c.UseRegionScout = true }, sim.ModeAuto},
+		{"timewarp-counter-shared-filter-fallback",
+			func(c *Config) { c.Mode = "timewarp"; c.Filter.Policy = core.PolicyCounter }, sim.ModeAuto},
+		{"auto-migration", func(c *Config) { c.Mode = "auto"; c.MigrationPeriodMs = 2 }, sim.ModeTimewarp},
+		{"auto-pinned", func(c *Config) { c.Mode = "auto" }, sim.ModeAuto},
+		{"default-dispatch", func(c *Config) { c.MigrationPeriodMs = 2 }, sim.ModeAuto},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := build(tc.mut)
+			if m.sharded == nil {
+				t.Fatal("config planned a single domain")
+			}
+			if got := m.resolveMode(); got != tc.want {
+				t.Errorf("resolveMode() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestTimewarpLocationTables pins the race-freedom refactor the optimistic
+// engine rides on: each domain's own/fwd row tracks exactly its vlist, and
+// a depart/arrive pair hands both off consistently.
+func TestTimewarpLocationTables(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RefsPerVCPU = 1000
+	cfg.MigrationPeriodMs = 2
+	cfg.Filter.Policy = core.PolicyCounter
+	cfg.Shards = 2
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.own == nil || m.nv != len(m.vcpus) {
+		t.Fatalf("location tables not built: own=%v nv=%d", m.own != nil, m.nv)
+	}
+	check := func(when string) {
+		t.Helper()
+		total := 0
+		for _, d := range m.doms {
+			row := int(d.idx) * m.nv
+			n := 0
+			for i := 0; i < m.nv; i++ {
+				if m.own[row+i] {
+					n++
+					if m.fwd[row+i] != d.idx {
+						t.Errorf("%s: dom %d owns vCPU %d but fwd points to %d", when, d.idx, i, m.fwd[row+i])
+					}
+				}
+			}
+			if n != len(d.vlist) {
+				t.Errorf("%s: dom %d own row has %d set, vlist has %d", when, d.idx, n, len(d.vlist))
+			}
+			total += n
+		}
+		if total != m.nv {
+			t.Errorf("%s: %d vCPUs owned in total, want %d", when, total, m.nv)
+		}
+	}
+	check("after New")
+	if _, err := m.RunChecked(); err != nil {
+		t.Fatal(err)
+	}
+	check("after Run")
+}

@@ -1,0 +1,101 @@
+package tlb
+
+// Checkpointing for the optimistic (Time Warp) shard engine: the same two
+// regimes as internal/cache/snapshot.go. Flat Save bulk-copies every
+// entry; the journaled regime (EnableJournal + the jsave hooks on every
+// mutating path) records a set's pre-image once per checkpoint generation,
+// making a checkpoint O(sets touched per epoch). The backward unwind to a
+// slot's mark is exact by the first-touch argument spelled out in the
+// cache package.
+
+type journal struct {
+	gen     uint64
+	setGen  []uint64
+	idx     []int32
+	entries []entry // pre-image arena: entry e occupies [e*ways, (e+1)*ways)
+}
+
+// Snap is one checkpoint of a TLB: every entry (flat regime) or a journal
+// mark (journaled regime), plus the LRU clock and the event counters.
+type Snap struct {
+	entries []entry
+	mark    int
+	tick    uint64
+	stats   Stats
+}
+
+// EnableJournal allocates the journal (disarmed). Call once, before the
+// run, on TLBs owned by an optimistic shard engine.
+func (t *TLB) EnableJournal() {
+	t.jnStore = &journal{gen: 1, setGen: make([]uint64, len(t.sets))}
+}
+
+// jsave records set s's pre-image once per generation. Callers guard with
+// t.jn != nil.
+func (t *TLB) jsave(s uint64) {
+	j := t.jn
+	if j.setGen[s] == j.gen {
+		return
+	}
+	j.setGen[s] = j.gen
+	j.idx = append(j.idx, int32(s))
+	j.entries = append(j.entries, t.sets[s]...)
+}
+
+// jsaveAll records every set (whole-TLB flushes).
+func (t *TLB) jsaveAll() {
+	for s := range t.sets {
+		t.jsave(uint64(s))
+	}
+}
+
+// Save checkpoints the TLB into s: a journal mark when journaling is
+// enabled (arming the mutation hooks), a full entry copy otherwise.
+func (t *TLB) Save(s *Snap) {
+	if j := t.jnStore; j != nil {
+		t.jn = j
+		s.mark = len(j.idx)
+		s.entries = s.entries[:0]
+		j.gen++
+	} else {
+		s.entries = s.entries[:0]
+		for _, set := range t.sets {
+			s.entries = append(s.entries, set...)
+		}
+	}
+	s.tick = t.tick
+	s.stats = t.Stats
+}
+
+// Restore rewinds the TLB to the state captured by Save. Journaled restore
+// disarms the hooks for the post-rollback replay.
+func (t *TLB) Restore(s *Snap) {
+	if j := t.jnStore; j != nil {
+		ways := t.cfg.Ways
+		for e := len(j.idx) - 1; e >= s.mark; e-- {
+			copy(t.sets[j.idx[e]], j.entries[e*ways:(e+1)*ways])
+		}
+		j.idx = j.idx[:s.mark]
+		j.entries = j.entries[:s.mark*ways]
+		j.gen++
+		t.jn = nil
+	} else {
+		i := 0
+		for _, set := range t.sets {
+			copy(set, s.entries[i:i+len(set)])
+			i += len(set)
+		}
+	}
+	t.tick = s.tick
+	t.Stats = s.stats
+}
+
+// CommitSnap finalizes the epoch: the journal truncates and disarms.
+func (t *TLB) CommitSnap() {
+	if j := t.jnStore; j != nil {
+		j.idx = j.idx[:0]
+		j.entries = j.entries[:0]
+		j.gen++
+		t.jn = nil
+	}
+}

@@ -1,0 +1,28 @@
+package workload
+
+import "vsnoop/internal/sim"
+
+// GenState is the complete mutable state of a Generator: the RNG and the
+// three streaming pointers. Everything else (profile, layout, thread index)
+// is immutable after construction. The optimistic shard engine checkpoints
+// vCPU reference streams with it.
+type GenState struct {
+	Rng        sim.Rand
+	ColdPtr    int
+	ContentPtr int
+	PartPtr    int
+}
+
+// State captures the generator's mutable state.
+func (g *Generator) State() GenState {
+	return GenState{Rng: *g.rng, ColdPtr: g.coldPtr, ContentPtr: g.contentPtr, PartPtr: g.partPtr}
+}
+
+// SetState rewinds the generator to a state captured by State; the replayed
+// reference stream is bit-identical to the original.
+func (g *Generator) SetState(s GenState) {
+	*g.rng = s.Rng
+	g.coldPtr = s.ColdPtr
+	g.contentPtr = s.ContentPtr
+	g.partPtr = s.PartPtr
+}

@@ -146,6 +146,20 @@ type Config struct {
 	// without it; only synchronization telemetry and wall-clock change.
 	NoElision bool
 
+	// Mode selects the sharded engine's synchronization engine:
+	// "windowed" (fully barriered), "adaptive" (conservative
+	// null-message free-run), "timewarp" (optimistic execution with
+	// flat-slice checkpoints, rollback, and GVT commit), "auto" (pick
+	// per config from the partition planner's horizon estimate), or ""
+	// for the historical dispatch. Results are bit-identical for every
+	// value — committed timewarp state matches serial execution at every
+	// commit point by construction — so, like Shards, Mode is excluded
+	// from Hash. "timewarp" on a configuration outside the optimistic
+	// engine's checkpoint coverage (directory protocol, RegionScout,
+	// fault plans, invariant checks, trace replay) silently falls back
+	// to the conservative dispatch.
+	Mode string
+
 	Seed uint64
 }
 
@@ -246,24 +260,26 @@ func (cfg Config) Validate() error {
 // simulation, so the hash is a sound memoization key: determinism
 // guarantees equal hashes produce bit-identical Results.
 //
-// Shards and NoElision are deliberately excluded — they choose how many
-// goroutines execute the run and which synchronization protocol they use,
-// both proven bit-identical to serial execution — so a result computed at
-// any shard count serves requests at every other. ForceSerial is included:
-// the legacy engine models cross-domain effects without the partitioned
-// pipeline's ownership-transfer latencies, so its results are a different
-// simulation, not a different execution strategy. Every semantic field
-// (workloads, policies, fault plan, seed, step bounds, checks) is included.
-// The encoding is versioned ("vsnoop-config-v2"; v2 moved migration,
-// content-sharing, and fault-event configurations onto the partitioned
-// cross-shard semantics, so v1 stores must not serve them); any future
-// change to the encoded fields must bump it so stale stores are never
-// misread.
+// Shards, NoElision, and Mode are deliberately excluded — they choose how
+// many goroutines execute the run and which synchronization engine drives
+// them, all proven bit-identical to serial execution — so a result
+// computed at any shard count or engine mode serves requests at every
+// other. ForceSerial is included: the legacy engine models cross-domain
+// effects without the partitioned pipeline's ownership-transfer latencies,
+// so its results are a different simulation, not a different execution
+// strategy. Every semantic field (workloads, policies, fault plan, seed,
+// step bounds, checks) is included. The encoding is versioned
+// ("vsnoop-config-v3"; v3 moved migrated-vCPU event chasing onto the
+// per-domain forwarding tables, re-timing multi-hop chases, and v2 moved
+// migration, content-sharing, and fault-event configurations onto the
+// partitioned cross-shard semantics — older stores must not serve either);
+// any future change to the encoded fields must bump it so stale stores are
+// never misread.
 func (cfg Config) Hash() string {
 	h := sha256.New()
 	w := func(format string, args ...interface{}) { fmt.Fprintf(h, format, args...) }
 	f64 := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	w("vsnoop-config-v2\n")
+	w("vsnoop-config-v3\n")
 	w("cores=%d\nvms=%d\nvcpusPerVM=%d\n", cfg.Cores, cfg.VMs, cfg.VCPUsPerVM)
 	w("workload=%q\n", cfg.Workload)
 	w("workloadPerVM.len=%d\n", len(cfg.WorkloadPerVM))
@@ -535,6 +551,7 @@ func toSystem(cfg Config) (system.Config, error) {
 	sc.Shards = cfg.Shards
 	sc.ForceSerial = cfg.ForceSerial
 	sc.NoElision = cfg.NoElision
+	sc.Mode = cfg.Mode
 	if cfg.Seed != 0 {
 		sc.Seed = cfg.Seed
 	}
